@@ -1,0 +1,51 @@
+//! Ablation: the interval-based engine versus the point-based reference evaluator of
+//! Theorem C.1 on the Figure 1 graph and a small synthetic graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{ExecutionOptions, GraphRelations};
+use trpq::queries::QueryId;
+use trpq::rewrite::rewrite_match;
+use workload::{figure1, ContactTracingConfig};
+
+fn bench_evaluators(c: &mut Criterion) {
+    let itpg = figure1();
+    let tpg = itpg.to_tpg();
+    let relations = GraphRelations::from_itpg(&itpg);
+    let options = ExecutionOptions::sequential();
+
+    let mut group = c.benchmark_group("figure1_engine_vs_reference");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for id in [QueryId::Q6, QueryId::Q9, QueryId::Q12] {
+        let rewritten = rewrite_match(&id.clause()).unwrap();
+        group.bench_function(format!("engine/{}", id.name()), |b| {
+            b.iter(|| engine::execute_query(id, &relations, &options).stats.output_rows)
+        });
+        group.bench_function(format!("reference_tpg/{}", id.name()), |b| {
+            b.iter(|| trpq::eval::tpg::eval_path(&rewritten.path, &tpg).len())
+        });
+    }
+    group.finish();
+
+    // A slightly larger synthetic graph to show how quickly the point-based reference
+    // evaluator falls behind the interval engine.
+    let mut config = ContactTracingConfig::with_persons(60).with_positivity_rate(0.2);
+    config.trajectories.num_time_points = 24;
+    let synthetic = workload::generate(&config);
+    let synthetic_tpg = synthetic.to_tpg();
+    let synthetic_relations = GraphRelations::from_itpg(&synthetic);
+    let mut group = c.benchmark_group("synthetic_60_persons");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    let rewritten = rewrite_match(&QueryId::Q9.clause()).unwrap();
+    group.bench_function("engine/Q9", |b| {
+        b.iter(|| engine::execute_query(QueryId::Q9, &synthetic_relations, &options).stats.output_rows)
+    });
+    group.bench_function("reference_tpg/Q9", |b| {
+        b.iter(|| trpq::eval::tpg::eval_path(&rewritten.path, &synthetic_tpg).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the dataflow substrate: temporally-aligned hash joins versus a
+//! naive nested-loop join, and the parallel chunked executor.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::{interval_hash_join, par_chunk_flat_map, Parallelism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tgraph::Interval;
+
+#[derive(Clone)]
+struct Row {
+    key: u32,
+    interval: Interval,
+}
+
+fn rows(n: usize, keys: u32, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let start = rng.gen_range(0..44u64);
+            Row { key: rng.gen_range(0..keys), interval: Interval::of(start, start + rng.gen_range(0..4)) }
+        })
+        .collect()
+}
+
+fn nested_loop(left: &[Row], right: &[Row]) -> usize {
+    let mut count = 0usize;
+    for l in left {
+        for r in right {
+            if l.key == r.key && l.interval.overlaps(&r.interval) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let left = rows(4_000, 500, 1);
+    let right = rows(4_000, 500, 2);
+
+    let mut group = c.benchmark_group("joins_4k_x_4k");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group.bench_function("interval_hash_join", |b| {
+        b.iter(|| {
+            interval_hash_join(&left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval).len()
+        })
+    });
+    group.bench_function("nested_loop", |b| b.iter(|| nested_loop(&left, &right)));
+    group.finish();
+
+    let items: Vec<u64> = (0..200_000).collect();
+    let mut group = c.benchmark_group("parallel_executor_200k_items");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                par_chunk_flat_map(&items, Parallelism::with_threads(threads), |chunk| {
+                    chunk.iter().map(|x| x.wrapping_mul(2654435761)).collect::<Vec<_>>()
+                })
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

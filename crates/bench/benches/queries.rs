@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the benchmark queries Q1–Q12 over a small synthetic
+//! contact-tracing graph (the per-query counterpart of Table II).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{ExecutionOptions, GraphRelations};
+use trpq::queries::QueryId;
+use workload::ContactTracingConfig;
+
+fn bench_queries(c: &mut Criterion) {
+    let config = ContactTracingConfig::with_persons(600).with_positivity_rate(0.02);
+    let graph = GraphRelations::from_itpg(&workload::generate(&config));
+    let options = ExecutionOptions::default();
+
+    let mut group = c.benchmark_group("queries_600_persons");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for id in QueryId::ALL {
+        group.bench_function(id.name(), |b| {
+            b.iter(|| engine::execute_query(id, &graph, &options).stats.output_rows)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Scaling micro-benchmark: execution time of a structural query (Q5) and a temporal
+//! query (Q9) as the graph grows — the Criterion counterpart of Figure 2.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{ExecutionOptions, GraphRelations};
+use trpq::queries::QueryId;
+use workload::ContactTracingConfig;
+
+fn bench_scaling(c: &mut Criterion) {
+    let options = ExecutionOptions::default();
+    let mut group = c.benchmark_group("graph_size_scaling");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    for persons in [200usize, 400, 800] {
+        let config = ContactTracingConfig::with_persons(persons).with_positivity_rate(0.05);
+        let graph = GraphRelations::from_itpg(&workload::generate(&config));
+        for id in [QueryId::Q5, QueryId::Q9] {
+            group.bench_with_input(BenchmarkId::new(id.name(), persons), &persons, |b, _| {
+                b.iter(|| engine::execute_query(id, &graph, &options).stats.output_rows)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 2: query execution time as a function of graph size (G1–G10).
+//!
+//! `cargo run --release -p bench --bin fig2_graph_size`
+
+use trpq::queries::QueryId;
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Figure 2: effect of graph size on query execution time");
+    let options = bench::execution_options();
+    print!("{:<6} {:>10}", "graph", "# nodes");
+    for id in QueryId::ALL {
+        print!(" {:>9}", id.name());
+    }
+    println!();
+    for scale in ScaleFactor::ALL {
+        let (graph, report) = bench::build_graph(scale);
+        print!("{:<6} {:>10}", scale.name(), report.nodes);
+        for id in QueryId::ALL {
+            let m = bench::measure(id, &graph, &options);
+            print!(" {:>9.4}", m.total_seconds);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 4: execution time of Q10–Q12 as the maximum number of temporal
+//! navigation steps m grows from 4 to 48.
+//!
+//! `cargo run --release -p bench --bin fig4_temporal_steps`
+
+use trpq::queries::QueryId;
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Figure 4: effect of temporal navigation steps on G10");
+    let (graph, _) = bench::build_graph(ScaleFactor::G10);
+    let options = bench::execution_options();
+    print!("{:<6}", "m");
+    for id in [QueryId::Q10, QueryId::Q11, QueryId::Q12] {
+        print!(" {:>10}", id.name());
+    }
+    println!();
+    for m in (4..=48).step_by(4) {
+        print!("{:<6}", m);
+        for id in [QueryId::Q10, QueryId::Q11, QueryId::Q12] {
+            let plan = engine::queries::plan_with_temporal_bound(id, m);
+            let out = engine::execute(&plan, &graph, &options);
+            print!(" {:>10.4}", out.stats.total_time.as_secs_f64());
+        }
+        println!();
+    }
+}

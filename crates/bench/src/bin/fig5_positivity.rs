@@ -1,0 +1,28 @@
+//! Regenerates Figure 5: execution time of Q6–Q12 as the positivity rate (query
+//! selectivity) grows from 2% to 10%.
+//!
+//! `cargo run --release -p bench --bin fig5_positivity`
+
+use trpq::queries::QueryId;
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Figure 5: effect of positivity rate on G10");
+    let options = bench::execution_options();
+    let queries = [QueryId::Q6, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q10, QueryId::Q11, QueryId::Q12];
+    print!("{:<12}", "positivity");
+    for id in queries {
+        print!(" {:>9}", id.name());
+    }
+    println!();
+    for rate in [0.02, 0.04, 0.06, 0.08, 0.10] {
+        let config = bench::config_at(ScaleFactor::G10).with_positivity_rate(rate);
+        let (graph, _) = bench::build_graph_with(config);
+        print!("{:<12}", format!("{:.0}%", rate * 100.0));
+        for id in queries {
+            let m = bench::measure(id, &graph, &options);
+            print!(" {:>9.4}", m.total_seconds);
+        }
+        println!();
+    }
+}

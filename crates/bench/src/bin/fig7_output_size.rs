@@ -1,0 +1,34 @@
+//! Regenerates Figure 7 (appendix): output size and execution time of every query on
+//! G2–G6, relative to G1, showing that runtime growth tracks output growth.
+//!
+//! `cargo run --release -p bench --bin fig7_output_size`
+
+use trpq::queries::QueryId;
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Figure 7: relative output size and execution time vs G1");
+    let options = bench::execution_options();
+    let scales = [ScaleFactor::G1, ScaleFactor::G2, ScaleFactor::G3, ScaleFactor::G4, ScaleFactor::G5, ScaleFactor::G6];
+    let mut baseline: Vec<(f64, f64)> = Vec::new();
+    println!("{:<6} {:<6} {:>14} {:>14} {:>12} {:>12}", "graph", "query", "output", "output xG1", "time (s)", "time xG1");
+    for (i, scale) in scales.iter().enumerate() {
+        let (graph, _) = bench::build_graph(*scale);
+        for (q, id) in QueryId::ALL.iter().enumerate() {
+            let m = bench::measure(*id, &graph, &options);
+            if i == 0 {
+                baseline.push((m.output_size.max(1) as f64, m.total_seconds.max(1e-9)));
+            }
+            let (base_out, base_time) = baseline[q];
+            println!(
+                "{:<6} {:<6} {:>14} {:>14.2} {:>12.4} {:>12.2}",
+                scale.name(),
+                id.name(),
+                m.output_size,
+                m.output_size as f64 / base_out,
+                m.total_seconds,
+                m.total_seconds / base_time
+            );
+        }
+    }
+}

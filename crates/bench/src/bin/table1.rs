@@ -1,0 +1,25 @@
+//! Regenerates Table I: the sizes of the experimental graphs G1–G10.
+//!
+//! `cargo run --release -p bench --bin table1`
+
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Table I: temporal property graphs used in experiments");
+    println!(
+        "{:<5} {:>9} {:>12} {:>14} {:>14} {:>12}",
+        "graph", "# persons", "# edges", "# temp. nodes", "# temp. edges", "gen time (s)"
+    );
+    for scale in ScaleFactor::ALL {
+        let (_, report) = bench::build_graph(scale);
+        println!(
+            "{:<5} {:>9} {:>12} {:>14} {:>14} {:>12.2}",
+            scale.name(),
+            report.nodes,
+            report.edges,
+            report.temporal_nodes,
+            report.temporal_edges,
+            report.generate_seconds
+        );
+    }
+}

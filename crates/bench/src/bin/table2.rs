@@ -1,0 +1,28 @@
+//! Regenerates Table II: execution time and output size of Q1–Q12 on the largest
+//! graph of the sweep (G10 under the configured scale divisor).
+//!
+//! `cargo run --release -p bench --bin table2`
+
+use trpq::queries::QueryId;
+use workload::ScaleFactor;
+
+fn main() {
+    bench::print_preamble("Table II: execution time of queries Q1-Q12 for graph G10");
+    let (graph, report) = bench::build_graph(ScaleFactor::G10);
+    println!(
+        "# G10: {} nodes, {} edges, {} temporal nodes, {} temporal edges",
+        report.nodes, report.edges, report.temporal_nodes, report.temporal_edges
+    );
+    println!("{:<6} {:>22} {:>16} {:>14}", "query", "interval-based time (s)", "total time (s)", "output size");
+    let options = bench::execution_options();
+    for id in QueryId::ALL {
+        let m = bench::measure(id, &graph, &options);
+        println!(
+            "{:<6} {:>22.4} {:>16.4} {:>14}",
+            id.name(),
+            m.interval_seconds,
+            m.total_seconds,
+            m.output_size
+        );
+    }
+}

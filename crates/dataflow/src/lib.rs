@@ -1,0 +1,17 @@
+//! # dataflow — interval-relational dataflow substrate
+//!
+//! The small dataflow layer the TRPQ engine (Section VI of the paper) is built on:
+//! an in-memory [`Relation`] with the classic operators (filter, map, flat-map, union,
+//! distinct), temporally-aligned hash joins ([`operators::join`]), temporal coalescing
+//! ([`operators::coalesce`]), and a chunked parallel executor on `crossbeam` scoped
+//! threads ([`parallel`]) standing in for the paper's use of Itertools + Rayon.
+
+#![warn(missing_docs)]
+
+pub mod operators;
+pub mod parallel;
+pub mod relation;
+
+pub use operators::{coalesce, hash_join, interval_hash_join, point_count};
+pub use parallel::{par_chunk_flat_map, par_filter, par_flat_map, par_map, Parallelism};
+pub use relation::Relation;

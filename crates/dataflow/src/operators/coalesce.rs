@@ -1,0 +1,76 @@
+//! Temporal coalescing of keyed interval rows.
+//!
+//! Point-based temporal semantics requires value-equivalent, temporally adjacent rows
+//! to be stored as a single row with the merged interval; this operator restores that
+//! invariant after joins and unions, mirroring the "temporally coalesced" result
+//! tables of Section VI.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use tgraph::{Interval, IntervalSet};
+
+/// Coalesces `(key, interval)` rows: rows with the same key whose intervals overlap or
+/// meet are merged into maximal intervals.  The output is sorted by key and interval.
+pub fn coalesce<K>(rows: Vec<(K, Interval)>) -> Vec<(K, Interval)>
+where
+    K: Eq + Hash + Ord + Clone,
+{
+    let mut by_key: HashMap<K, Vec<Interval>> = HashMap::new();
+    for (key, interval) in rows {
+        by_key.entry(key).or_default().push(interval);
+    }
+    let mut out: Vec<(K, Interval)> = Vec::new();
+    for (key, intervals) in by_key {
+        let set = IntervalSet::from_intervals(intervals);
+        out.extend(set.intervals().iter().map(|iv| (key.clone(), *iv)));
+    }
+    out.sort();
+    out
+}
+
+/// The total number of time points covered by a set of keyed interval rows,
+/// counting each `(key, time point)` pair once.
+pub fn point_count<K>(rows: &[(K, Interval)]) -> u64
+where
+    K: Eq + Hash + Ord + Clone,
+{
+    coalesce(rows.to_vec()).iter().map(|(_, iv)| iv.num_points()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_adjacent_and_overlapping_rows_per_key() {
+        let rows = vec![
+            ("a", Interval::of(1, 3)),
+            ("a", Interval::of(4, 6)),
+            ("a", Interval::of(9, 9)),
+            ("b", Interval::of(2, 5)),
+            ("b", Interval::of(4, 7)),
+        ];
+        let coalesced = coalesce(rows);
+        assert_eq!(
+            coalesced,
+            vec![
+                ("a", Interval::of(1, 6)),
+                ("a", Interval::of(9, 9)),
+                ("b", Interval::of(2, 7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn point_count_deduplicates_overlaps() {
+        let rows = vec![("a", Interval::of(1, 4)), ("a", Interval::of(3, 6)), ("b", Interval::of(1, 1))];
+        assert_eq!(point_count(&rows), 7);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rows: Vec<(&str, Interval)> = Vec::new();
+        assert!(coalesce(rows).is_empty());
+    }
+}

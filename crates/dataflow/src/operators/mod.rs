@@ -1,0 +1,7 @@
+//! Relational dataflow operators with temporal awareness.
+
+pub mod coalesce;
+pub mod join;
+
+pub use coalesce::{coalesce, point_count};
+pub use join::{hash_join, interval_hash_join};

@@ -1,0 +1,151 @@
+//! A chunked data-parallel executor built on `crossbeam` scoped threads.
+//!
+//! The paper's implementation uses Rayon as "an interface over dataflow operators";
+//! this module provides the same programming model — split an input collection into
+//! chunks, apply an operator to every chunk on its own worker thread, and concatenate
+//! the per-chunk outputs — with an explicit, configurable degree of parallelism so the
+//! Figure 3 experiment (execution time vs. number of cores) can sweep it.
+
+use std::num::NonZeroUsize;
+
+/// Degree of parallelism for the chunked operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Runs everything on the calling thread.
+    pub fn sequential() -> Self {
+        Parallelism { threads: NonZeroUsize::new(1).unwrap() }
+    }
+
+    /// Uses exactly `threads` worker threads (values of zero are clamped to one).
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism { threads: NonZeroUsize::new(threads.max(1)).unwrap() }
+    }
+
+    /// Uses one worker per available CPU core.
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Parallelism::with_threads(threads)
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::available()
+    }
+}
+
+/// Applies `op` to roughly equal chunks of `items` in parallel and concatenates the
+/// results in chunk order.  The operator receives each chunk as a slice.
+pub fn par_chunk_flat_map<T, U, F>(items: &[T], parallelism: Parallelism, op: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    let threads = parallelism.threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return op(items);
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks.iter().map(|chunk| scope.spawn(|_| op(chunk))).collect();
+        for handle in handles {
+            results.push(handle.join().expect("dataflow worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let total: usize = results.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// Parallel map over the items of a slice, preserving order.
+pub fn par_map<T, U, F>(items: &[T], parallelism: Parallelism, op: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_chunk_flat_map(items, parallelism, |chunk| chunk.iter().map(&op).collect())
+}
+
+/// Parallel flat-map over the items of a slice, preserving order.
+pub fn par_flat_map<T, U, F>(items: &[T], parallelism: Parallelism, op: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync,
+{
+    par_chunk_flat_map(items, parallelism, |chunk| chunk.iter().flat_map(&op).collect())
+}
+
+/// Parallel filter over the items of a slice, preserving order.
+pub fn par_filter<T, F>(items: &[T], parallelism: Parallelism, predicate: F) -> Vec<T>
+where
+    T: Sync + Send + Clone,
+    F: Fn(&T) -> bool + Sync,
+{
+    par_chunk_flat_map(items, parallelism, |chunk| {
+        chunk.iter().filter(|item| predicate(item)).cloned().collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_configuration() {
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert_eq!(Parallelism::with_threads(0).threads(), 1);
+        assert_eq!(Parallelism::with_threads(7).threads(), 7);
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_flat_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let doubled = par_chunk_flat_map(&items, Parallelism::with_threads(threads), |chunk| {
+                chunk.iter().map(|x| x * 2).collect()
+            });
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_filter_and_flat_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let p = Parallelism::with_threads(4);
+        assert_eq!(par_map(&items, p, |x| x + 1)[99], 100);
+        assert_eq!(par_filter(&items, p, |x| x % 2 == 0).len(), 50);
+        let expanded = par_flat_map(&items, p, |x| vec![*x, *x]);
+        assert_eq!(expanded.len(), 200);
+        assert_eq!(&expanded[0..4], &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, Parallelism::with_threads(8), |x| *x).is_empty());
+        let single = vec![42u64];
+        assert_eq!(par_map(&single, Parallelism::with_threads(8), |x| *x), vec![42]);
+        // More threads than items.
+        let few: Vec<u64> = (0..3).collect();
+        assert_eq!(par_map(&few, Parallelism::with_threads(16), |x| x * 10), vec![0, 10, 20]);
+    }
+}

@@ -1,0 +1,171 @@
+//! A thin, lazy-ish relational wrapper used to compose dataflow pipelines.
+//!
+//! [`Relation`] owns a vector of rows and exposes the classic dataflow operators
+//! (filter, map, flat-map, union, distinct) plus parallel variants that split the
+//! relation into chunks and process them on worker threads.  The engine crate builds
+//! its select–project–join plans on top of these operators, in the same spirit as the
+//! paper's use of Itertools and Rayon.
+
+use crate::parallel::{par_chunk_flat_map, Parallelism};
+
+/// An in-memory relation: an ordered multiset of rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation<T> {
+    rows: Vec<T>,
+}
+
+impl<T> Relation<T> {
+    /// Creates a relation from a vector of rows.
+    pub fn new(rows: Vec<T>) -> Self {
+        Relation { rows }
+    }
+
+    /// The empty relation.
+    pub fn empty() -> Self {
+        Relation { rows: Vec::new() }
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrows the rows.
+    pub fn rows(&self) -> &[T] {
+        &self.rows
+    }
+
+    /// Consumes the relation and returns its rows.
+    pub fn into_rows(self) -> Vec<T> {
+        self.rows
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.rows.iter()
+    }
+
+    /// Keeps only the rows satisfying the predicate.
+    pub fn filter<F: FnMut(&T) -> bool>(self, predicate: F) -> Self {
+        Relation { rows: self.rows.into_iter().filter(predicate).collect() }
+    }
+
+    /// Applies a projection / transformation to every row.
+    pub fn map<U, F: FnMut(T) -> U>(self, op: F) -> Relation<U> {
+        Relation { rows: self.rows.into_iter().map(op).collect() }
+    }
+
+    /// Applies a one-to-many transformation to every row.
+    pub fn flat_map<U, I, F>(self, op: F) -> Relation<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: FnMut(T) -> I,
+    {
+        Relation { rows: self.rows.into_iter().flat_map(op).collect() }
+    }
+
+    /// Appends the rows of another relation (bag union).
+    pub fn union(mut self, other: Relation<T>) -> Self {
+        self.rows.extend(other.rows);
+        self
+    }
+
+    /// Removes duplicate rows (set semantics); sorts the relation as a side effect.
+    pub fn distinct(mut self) -> Self
+    where
+        T: Ord,
+    {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+        self
+    }
+
+    /// Parallel filter over chunks of the relation.
+    pub fn par_filter<F>(self, parallelism: Parallelism, predicate: F) -> Self
+    where
+        T: Send + Sync + Clone,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let rows = par_chunk_flat_map(&self.rows, parallelism, |chunk| {
+            chunk.iter().filter(|r| predicate(r)).cloned().collect()
+        });
+        Relation { rows }
+    }
+
+    /// Parallel one-to-many transformation over chunks of the relation.
+    pub fn par_flat_map<U, F>(self, parallelism: Parallelism, op: F) -> Relation<U>
+    where
+        T: Send + Sync,
+        U: Send,
+        F: Fn(&T) -> Vec<U> + Sync,
+    {
+        let rows = par_chunk_flat_map(&self.rows, parallelism, |chunk| {
+            chunk.iter().flat_map(&op).collect()
+        });
+        Relation { rows }
+    }
+}
+
+impl<T> FromIterator<T> for Relation<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Relation { rows: iter.into_iter().collect() }
+    }
+}
+
+impl<T> IntoIterator for Relation<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operators_compose() {
+        let r: Relation<u32> = (0..10).collect();
+        let result = r
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 10)
+            .flat_map(|x| vec![x, x + 1])
+            .distinct();
+        assert_eq!(result.rows(), &[0, 1, 20, 21, 40, 41, 60, 61, 80, 81]);
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let a: Relation<u32> = vec![1, 2, 3].into_iter().collect();
+        let b: Relation<u32> = vec![3, 4].into_iter().collect();
+        let u = a.union(b);
+        assert_eq!(u.len(), 5);
+        assert_eq!(u.distinct().rows(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_operators_match_sequential() {
+        let r: Relation<u64> = (0..500).collect();
+        let seq = r.clone().filter(|x| x % 3 == 0).flat_map(|x| vec![x, x * 2]);
+        let par = r
+            .clone()
+            .par_filter(Parallelism::with_threads(4), |x| x % 3 == 0)
+            .par_flat_map(Parallelism::with_threads(4), |x| vec![*x, x * 2]);
+        assert_eq!(seq.rows(), par.rows());
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let e: Relation<u32> = Relation::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.clone().distinct().len(), 0);
+        assert!(e.iter().next().is_none());
+    }
+}

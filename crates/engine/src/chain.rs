@@ -1,0 +1,85 @@
+//! Intermediate state of plan evaluation: partially-matched pattern instances.
+
+use tgraph::{Interval, Object};
+
+use crate::relations::GraphRelations;
+
+/// Where the evaluation cursor currently sits: on a row of the Nodes relation or on a
+/// row of the Edges relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// Index into [`GraphRelations::node_rows`].
+    NodeRow(u32),
+    /// Index into [`GraphRelations::edge_rows`].
+    EdgeRow(u32),
+}
+
+impl Position {
+    /// The object the position refers to.
+    pub fn object(self, graph: &GraphRelations) -> Object {
+        match self {
+            Position::NodeRow(r) => Object::Node(graph.node_rows()[r as usize].node),
+            Position::EdgeRow(r) => Object::Edge(graph.edge_rows()[r as usize].edge),
+        }
+    }
+
+    /// The validity interval of the underlying row.
+    pub fn row_interval(self, graph: &GraphRelations) -> Interval {
+        match self {
+            Position::NodeRow(r) => graph.node_rows()[r as usize].interval,
+            Position::EdgeRow(r) => graph.edge_rows()[r as usize].interval,
+        }
+    }
+}
+
+/// One binding recorded while matching: `(variable slot, segment index, object)`.
+/// The binding time is the time point eventually chosen for that segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundVar {
+    /// Variable slot (index into [`crate::plan::PlanSet::variables`]).
+    pub slot: u32,
+    /// The segment during which the variable was bound.
+    pub segment: u32,
+    /// The bound node or edge.
+    pub object: Object,
+}
+
+/// A partially (or fully) matched pattern instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    /// Final validity intervals of the segments completed so far, in order.
+    pub seg_intervals: Vec<Interval>,
+    /// Variables bound so far.
+    pub bound: Vec<BoundVar>,
+    /// The cursor position within the current segment.
+    pub position: Position,
+    /// The validity interval of the current segment so far: the intersection of the
+    /// validity intervals of every row traversed and every filter applied since the
+    /// segment started.
+    pub interval: Interval,
+}
+
+impl Chain {
+    /// A fresh chain starting the first segment at the given node row.
+    pub fn seed(row_index: u32, graph: &GraphRelations) -> Self {
+        let position = Position::NodeRow(row_index);
+        Chain {
+            seg_intervals: Vec::new(),
+            bound: Vec::new(),
+            position,
+            interval: position.row_interval(graph),
+        }
+    }
+
+    /// Index of the segment currently being matched.
+    pub fn current_segment(&self) -> u32 {
+        self.seg_intervals.len() as u32
+    }
+
+    /// All segment intervals including the (finished) current one.
+    pub fn all_segment_intervals(&self) -> Vec<Interval> {
+        let mut out = self.seg_intervals.clone();
+        out.push(self.interval);
+        out
+    }
+}

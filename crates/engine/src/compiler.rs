@@ -1,0 +1,349 @@
+//! Compilation of parsed `MATCH` clauses into engine plans.
+//!
+//! The engine implements the fragment of `NavL[PC,NOI]` that covers all the queries of
+//! Section IV: patterns whose regular expressions combine structural steps
+//! (`FWD`/`BWD` and label / property tests) with temporal navigation (`NEXT`/`PREV`,
+//! optionally carrying a numerical occurrence indicator or the Kleene star), plus
+//! top-level unions.  Structural steps under repetition and nested repetition of
+//! groups fall outside this fragment and are rejected with
+//! [`QueryError::UnsupportedFragment`]; the reference evaluators in the `trpq` crate
+//! cover the full language on point-timestamped graphs.
+
+use trpq::ast::Axis;
+use trpq::parser::{
+    Direction, EdgePattern, MatchClause, NodePattern, PatternPart, Regex, RegexAtom, RegexItem,
+};
+use trpq::{QueryError, Result};
+
+use crate::plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
+
+/// Compiles a parsed clause into a set of engine plans (one per union alternative).
+pub fn compile(clause: &MatchClause) -> Result<PlanSet> {
+    // Assign variable slots in order of first appearance.
+    let mut variables: Vec<String> = Vec::new();
+    for part in &clause.parts {
+        let var = match part {
+            PatternPart::Node(n) => n.var.as_ref(),
+            PatternPart::Edge(e) => e.var.as_ref(),
+            PatternPart::Regex(_) => None,
+        };
+        if let Some(name) = var {
+            if variables.contains(name) {
+                return Err(QueryError::InvalidVariable(name.clone()));
+            }
+            variables.push(name.clone());
+        }
+    }
+
+    // Each pattern part contributes a list of alternative op sequences; the plan set
+    // is their cartesian product.
+    let mut alternatives: Vec<Vec<PlanOp>> = vec![Vec::new()];
+    for part in &clause.parts {
+        let part_alternatives = compile_part(part, &variables)?;
+        let mut next = Vec::with_capacity(alternatives.len() * part_alternatives.len());
+        for prefix in &alternatives {
+            for suffix in &part_alternatives {
+                let mut combined = prefix.clone();
+                combined.extend(suffix.iter().cloned());
+                next.push(combined);
+            }
+        }
+        alternatives = next;
+    }
+
+    let plans = alternatives.into_iter().map(assemble_plan).collect::<Result<Vec<_>>>()?;
+    Ok(PlanSet { plans, variables, graph: clause.graph.clone() })
+}
+
+/// Intermediate op used during compilation: either a structural micro-op or a
+/// temporal shift separating two segments.
+#[derive(Debug, Clone, PartialEq)]
+enum PlanOp {
+    Micro(MicroOp),
+    Shift(Shift),
+}
+
+fn assemble_plan(ops: Vec<PlanOp>) -> Result<EnginePlan> {
+    let mut plan = EnginePlan { segments: vec![Segment::default()], shifts: Vec::new() };
+    for op in ops {
+        match op {
+            PlanOp::Micro(m) => plan.segments.last_mut().expect("at least one segment").ops.push(m),
+            PlanOp::Shift(s) => {
+                plan.shifts.push(s);
+                plan.segments.push(Segment::default());
+            }
+        }
+    }
+    Ok(plan)
+}
+
+fn slot_of(variables: &[String], name: &str) -> usize {
+    variables.iter().position(|v| v == name).expect("variable was registered during slot assignment")
+}
+
+fn compile_part(part: &PatternPart, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
+    match part {
+        PatternPart::Node(node) => Ok(vec![compile_node(node, variables)]),
+        PatternPart::Edge(edge) => Ok(vec![compile_edge(edge, variables)]),
+        PatternPart::Regex(regex) => compile_regex(regex, variables),
+    }
+}
+
+fn compile_node(node: &NodePattern, variables: &[String]) -> Vec<PlanOp> {
+    let filter = ObjFilter::from_pattern(Some(true), node.label.as_deref(), &node.constraints);
+    let mut ops = vec![PlanOp::Micro(MicroOp::Filter(filter))];
+    if let Some(var) = &node.var {
+        ops.push(PlanOp::Micro(MicroOp::Bind(slot_of(variables, var))));
+    }
+    ops
+}
+
+fn compile_edge(edge: &EdgePattern, variables: &[String]) -> Vec<PlanOp> {
+    let hop = match edge.direction {
+        Direction::Out => HopDirection::Forward,
+        Direction::In => HopDirection::Backward,
+    };
+    let filter = ObjFilter::from_pattern(Some(false), edge.label.as_deref(), &edge.constraints);
+    let mut ops = vec![PlanOp::Micro(MicroOp::Hop(hop)), PlanOp::Micro(MicroOp::Filter(filter))];
+    if let Some(var) = &edge.var {
+        ops.push(PlanOp::Micro(MicroOp::Bind(slot_of(variables, var))));
+    }
+    ops.push(PlanOp::Micro(MicroOp::Hop(hop)));
+    ops
+}
+
+/// Expands a regex into alternatives of op sequences (distributing unions).
+fn compile_regex(regex: &Regex, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
+    let mut out = Vec::new();
+    for seq in &regex.alternatives {
+        // Each item contributes its own alternatives; combine by cartesian product.
+        let mut seq_alternatives: Vec<Vec<PlanOp>> = vec![Vec::new()];
+        for item in &seq.items {
+            let item_alternatives = compile_regex_item(item, variables)?;
+            let mut next = Vec::with_capacity(seq_alternatives.len() * item_alternatives.len());
+            for prefix in &seq_alternatives {
+                for suffix in &item_alternatives {
+                    let mut combined = prefix.clone();
+                    combined.extend(suffix.iter().cloned());
+                    next.push(combined);
+                }
+            }
+            seq_alternatives = next;
+        }
+        out.extend(seq_alternatives);
+    }
+    Ok(out)
+}
+
+fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
+    let unsupported = |reason: &str| -> Result<Vec<Vec<PlanOp>>> {
+        Err(QueryError::UnsupportedFragment {
+            expression: format!("{item:?}"),
+            reason: reason.to_owned(),
+        })
+    };
+    match (&item.atom, item.repeat) {
+        (RegexAtom::Axis(Axis::Fwd), None) => Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Forward))]]),
+        (RegexAtom::Axis(Axis::Bwd), None) => Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Backward))]]),
+        (RegexAtom::Axis(Axis::Fwd | Axis::Bwd), Some(_)) => {
+            unsupported("structural navigation under a repetition is outside the engine fragment")
+        }
+        (RegexAtom::Axis(axis @ (Axis::Next | Axis::Prev)), repeat) => {
+            let (min, max) = match repeat {
+                None => (1, Some(1)),
+                Some((n, m)) => (n, m),
+            };
+            Ok(vec![vec![PlanOp::Shift(Shift { forward: *axis == Axis::Next, min, max })]])
+        }
+        (RegexAtom::Label(label), None) => {
+            let filter = ObjFilter { label: Some(label.clone()), ..Default::default() };
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Filter(filter))]])
+        }
+        (RegexAtom::Props(constraints), None) => {
+            let filter = ObjFilter::from_pattern(None, None, constraints);
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Filter(filter))]])
+        }
+        (RegexAtom::Label(_) | RegexAtom::Props(_), Some(_)) => {
+            unsupported("repeating a test is a no-op the engine does not accept; drop the indicator")
+        }
+        (RegexAtom::Group(inner), None) => compile_regex(inner, variables),
+        (RegexAtom::Group(inner), Some(repeat)) => {
+            // A repeated group is supported only when it is purely temporal (a single
+            // NEXT/PREV possibly with an existing indicator), e.g. (NEXT)[0,12].
+            if let Some(shift) = purely_temporal_group(inner) {
+                let combined = combine_repetition(shift, repeat);
+                match combined {
+                    Some(s) => Ok(vec![vec![PlanOp::Shift(s)]]),
+                    None => unsupported("nested temporal repetitions with incompatible bounds"),
+                }
+            } else {
+                unsupported("repetition of a composite group is outside the engine fragment")
+            }
+        }
+    }
+}
+
+/// If the group consists of exactly one alternative with exactly one temporal axis
+/// item, returns the corresponding shift.
+fn purely_temporal_group(regex: &Regex) -> Option<Shift> {
+    if regex.alternatives.len() != 1 || regex.alternatives[0].items.len() != 1 {
+        return None;
+    }
+    let item = &regex.alternatives[0].items[0];
+    match (&item.atom, item.repeat) {
+        (RegexAtom::Axis(axis @ (Axis::Next | Axis::Prev)), repeat) => {
+            let (min, max) = match repeat {
+                None => (1, Some(1)),
+                Some((n, m)) => (n, m),
+            };
+            Some(Shift { forward: *axis == Axis::Next, min, max })
+        }
+        _ => None,
+    }
+}
+
+/// Composes an inner shift with an outer repetition: `(NEXT[a,b])[n,m]` moves between
+/// `a·n` and `b·m` steps, provided the set of reachable step counts — the union of
+/// `[a·k, b·k]` over `k ∈ [n, m]` — is a contiguous range (otherwise a single shift
+/// cannot represent it and the construct is rejected).  Open-ended bounds stay
+/// open-ended.
+fn combine_repetition(inner: Shift, (n, m): (u32, Option<u32>)) -> Option<Shift> {
+    let a = inner.min as u64;
+    let min = a.checked_mul(n as u64)?;
+    let b = match inner.max {
+        Some(b) => b as u64,
+        // An open-ended inner bound makes every count ≥ a·n reachable.  With n = 0 the
+        // zero-repetition case adds the count 0, which is only contiguous with the
+        // rest when a ≤ 1.
+        None => {
+            if n == 0 && a > 1 {
+                return None;
+            }
+            return Some(Shift { forward: inner.forward, min: u32::try_from(min).ok()?, max: None });
+        }
+    };
+    // Contiguity: consecutive repetition counts k and k+1 must produce overlapping or
+    // adjacent ranges, i.e. a·(k+1) ≤ b·k + 1.  The gap a·(k+1) − b·k is largest at the
+    // smallest k, so checking k = n suffices (for m = None the counts are unbounded and
+    // the same check applies).
+    let upper_k = m.map(|m| m as u64);
+    if upper_k != Some(n as u64) {
+        let k = n as u64;
+        if a.checked_mul(k + 1)? > b.checked_mul(k)?.checked_add(1)? {
+            return None;
+        }
+    }
+    let max = match upper_k {
+        Some(m) => Some(u32::try_from(b.checked_mul(m)?).ok()?),
+        None => None,
+    };
+    Some(Shift { forward: inner.forward, min: u32::try_from(min).ok()?, max })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trpq::parser::parse_match;
+    use trpq::queries::QueryId;
+
+    fn compile_text(text: &str) -> PlanSet {
+        compile(&parse_match(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn q1_compiles_to_a_single_filter_segment() {
+        let plan_set = compile_text("MATCH (x:Person) ON contact_tracing");
+        assert_eq!(plan_set.variables, vec!["x".to_string()]);
+        assert_eq!(plan_set.plans.len(), 1);
+        let plan = &plan_set.plans[0];
+        assert!(plan.is_purely_structural());
+        assert_eq!(plan.segments.len(), 1);
+        assert_eq!(plan.segments[0].ops.len(), 2); // Filter + Bind
+        assert_eq!(plan.segments[0].bound_slots(), vec![0]);
+    }
+
+    #[test]
+    fn q5_compiles_to_hop_filter_hop() {
+        let plan_set = compile_text(
+            "MATCH (x:Person {risk = 'low'})-[z:meets]->(y:Person {risk = 'high'}) ON g",
+        );
+        assert_eq!(plan_set.variables, vec!["x", "z", "y"]);
+        let ops = &plan_set.plans[0].segments[0].ops;
+        // x filter, bind, hop, edge filter, bind, hop, y filter, bind.
+        assert_eq!(ops.len(), 8);
+        assert!(matches!(ops[2], MicroOp::Hop(HopDirection::Forward)));
+        assert!(matches!(ops[5], MicroOp::Hop(HopDirection::Forward)));
+    }
+
+    #[test]
+    fn temporal_operators_split_segments() {
+        let plan_set = compile_text(
+            "MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) ON g",
+        );
+        let plan = &plan_set.plans[0];
+        assert_eq!(plan.segments.len(), 2);
+        assert_eq!(plan.shifts, vec![Shift { forward: false, min: 1, max: Some(1) }]);
+        // Segment 1 holds the structural part after PREV plus the Room filter/bind.
+        assert!(plan.segments[1].ops.len() >= 4);
+        assert_eq!(plan.segments[1].bound_slots(), vec![1]);
+
+        let star = compile_text("MATCH (x:Person {test = 'pos'})-/PREV*/FWD/:visits/FWD/-(z:Room) ON g");
+        assert_eq!(star.plans[0].shifts, vec![Shift { forward: false, min: 0, max: None }]);
+
+        let bounded = compile_text(
+            "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT[0,12]/-({test = 'pos'}) ON g",
+        );
+        assert_eq!(bounded.plans[0].shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+    }
+
+    #[test]
+    fn unions_expand_into_multiple_plans() {
+        let plan_set = compile(&QueryId::Q12.clause()).unwrap();
+        assert_eq!(plan_set.plans.len(), 2);
+        // Both alternatives end with the same NEXT[0,12] shift and a final filter.
+        for plan in &plan_set.plans {
+            assert_eq!(plan.segments.len(), 2);
+            assert_eq!(plan.shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+        }
+        // The meets alternative is shorter than the visits alternative.
+        let lengths: Vec<usize> = plan_set.plans.iter().map(|p| p.segments[0].ops.len()).collect();
+        assert!(lengths[0] != lengths[1]);
+    }
+
+    #[test]
+    fn all_benchmark_queries_compile() {
+        for id in QueryId::ALL {
+            let plan_set = compile(&id.clause()).unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert!(!plan_set.plans.is_empty());
+            let expects_shifts = id.uses_temporal_navigation();
+            assert_eq!(!plan_set.is_purely_structural(), expects_shifts, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected() {
+        // Structural navigation under a repetition.
+        let err = compile(&parse_match("MATCH (x)-/FWD*/-(y) ON g").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+        // Repetition of a composite group.
+        let err = compile(&parse_match("MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+        // Repeating a test.
+        let err = compile(&parse_match("MATCH (x)-/:Room[0,2]/-(y) ON g").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+    }
+
+    #[test]
+    fn repeated_purely_temporal_groups_compose() {
+        let plan_set = compile_text("MATCH (x)-/(NEXT)[0,12]/-(y) ON g");
+        assert_eq!(plan_set.plans[0].shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+        let plan_set = compile_text("MATCH (x)-/(PREV[2,3])[2,2]/-(y) ON g");
+        assert_eq!(plan_set.plans[0].shifts, vec![Shift { forward: false, min: 4, max: Some(6) }]);
+    }
+
+    #[test]
+    fn duplicate_variables_are_rejected() {
+        let err = compile(&parse_match("MATCH (x)-[x:meets]->(y) ON g").unwrap()).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidVariable(_)));
+    }
+}

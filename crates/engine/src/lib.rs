@@ -1,0 +1,44 @@
+//! # engine — the interval-based TRPQ query engine
+//!
+//! The implementation described in Section VI of *Temporal Regular Path Queries*
+//! (ICDE 2022): queries in the practical `MATCH … -/…/- … ON graph` syntax are
+//! compiled into plans whose structural parts are evaluated as select–project–join
+//! pipelines over interval-timestamped `Nodes` / `Edges` relations (Step 1), temporal
+//! navigation is pruned with interval arithmetic (Step 2), and the final binding table
+//! is expanded to point-based bindings only when the query requires it (Step 3).
+//! Evaluation is data-parallel over chunks of the input relation.
+//!
+//! ```
+//! use engine::{ExecutionOptions, GraphRelations};
+//! use tgraph::{Interval, ItpgBuilder};
+//!
+//! let mut b = ItpgBuilder::new();
+//! let ann = b.add_node("ann", "Person").unwrap();
+//! b.add_existence(ann, Interval::of(1, 9)).unwrap();
+//! b.set_property(ann, "risk", "high", Interval::of(1, 9)).unwrap();
+//! let graph = GraphRelations::from_itpg(&b.build().unwrap());
+//!
+//! let out = engine::execute_text(
+//!     "MATCH (x:Person {risk = 'high'}) ON g",
+//!     &graph,
+//!     &ExecutionOptions::sequential(),
+//! ).unwrap();
+//! assert_eq!(out.stats.output_rows, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bindings;
+pub mod chain;
+pub mod compiler;
+pub mod executor;
+pub mod plan;
+pub mod queries;
+pub mod relations;
+pub mod steps;
+
+pub use bindings::{Binding, BindingTable, TimeRef};
+pub use compiler::compile;
+pub use executor::{execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats};
+pub use plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
+pub use relations::{EdgeRow, GraphRelations, NodeRow, RelationStats};

@@ -1,0 +1,363 @@
+//! Physical query plans for the practical fragment implemented by the engine.
+//!
+//! A plan decomposes a `MATCH` pattern at its temporal navigation operators
+//! (Section VI): each [`Segment`] is a purely structural select-project-join pipeline
+//! evaluated over one (unknown) snapshot time, and consecutive segments are linked by
+//! a [`Shift`] — a `NEXT[n,m]` / `PREV[n,m]` style move in time on the same object.
+//! A query whose surface syntax contains unions compiles to several plans
+//! (a [`PlanSet`]), whose results are unioned.
+
+use tgraph::{Interval, Time, Value};
+use trpq::parser::{CmpOp, Constraint};
+
+/// Direction of a single structural hop within a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopDirection {
+    /// `FWD`: node → outgoing edge, or edge → target node.
+    Forward,
+    /// `BWD`: node → incoming edge, or edge → source node.
+    Backward,
+}
+
+/// A filter on the object currently under the cursor.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObjFilter {
+    /// If set, the object must be a node (`true`) or an edge (`false`).
+    pub require_node: Option<bool>,
+    /// Required label, if any.
+    pub label: Option<String>,
+    /// Required property values.
+    pub props: Vec<(String, Value)>,
+    /// Constraints on the binding time (`time = k`, `time < k`, …).
+    pub time: Vec<(CmpOp, Time)>,
+}
+
+impl ObjFilter {
+    /// Builds a filter from the label and constraints of a parsed pattern.
+    pub fn from_pattern(
+        require_node: Option<bool>,
+        label: Option<&str>,
+        constraints: &[Constraint],
+    ) -> Self {
+        let mut filter = ObjFilter { require_node, label: label.map(str::to_owned), ..Default::default() };
+        for c in constraints {
+            match c {
+                Constraint::Prop(p, v) => filter.props.push((p.clone(), v.clone())),
+                Constraint::Time(op, k) => filter.time.push((*op, *k)),
+            }
+        }
+        filter
+    }
+
+    /// True if the filter has no conditions at all.
+    pub fn is_trivial(&self) -> bool {
+        self.require_node.is_none() && self.label.is_none() && self.props.is_empty() && self.time.is_empty()
+    }
+
+    /// Restricts a validity interval according to the time constraints; returns `None`
+    /// if no time point survives.
+    pub fn clamp_interval(&self, interval: Interval) -> Option<Interval> {
+        let mut lo = interval.start();
+        let mut hi = interval.end();
+        for (op, k) in &self.time {
+            match op {
+                CmpOp::Eq => {
+                    lo = lo.max(*k);
+                    hi = hi.min(*k);
+                }
+                CmpOp::Lt => {
+                    if *k == 0 {
+                        return None;
+                    }
+                    hi = hi.min(k - 1);
+                }
+                CmpOp::Le => hi = hi.min(*k),
+                CmpOp::Gt => lo = lo.max(k + 1),
+                CmpOp::Ge => lo = lo.max(*k),
+            }
+        }
+        if lo <= hi {
+            Some(Interval::of(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Checks the label and property parts of the filter against a row's label and
+    /// property list (the time part is handled by [`ObjFilter::clamp_interval`]).
+    pub fn matches_row(&self, label: &str, props: &[(std::sync::Arc<str>, Value)]) -> bool {
+        if let Some(required) = &self.label {
+            if required != label {
+                return false;
+            }
+        }
+        self.props.iter().all(|(name, value)| {
+            props.iter().any(|(k, v)| k.as_ref() == name && v == value)
+        })
+    }
+}
+
+/// A single operation of a structural segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroOp {
+    /// Move one structural step within the current snapshot.
+    Hop(HopDirection),
+    /// Filter the object under the cursor.
+    Filter(ObjFilter),
+    /// Bind the object under the cursor to the variable slot.
+    Bind(usize),
+}
+
+/// A maximal run of structural operations evaluated at a single snapshot time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Segment {
+    /// The operations, applied left to right.
+    pub ops: Vec<MicroOp>,
+}
+
+impl Segment {
+    /// The variable slots bound inside this segment.
+    pub fn bound_slots(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                MicroOp::Bind(slot) => Some(*slot),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A temporal move between two segments: `NEXT[min, max]` (forward) or
+/// `PREV[min, max]` (backward) on the object the previous segment ended on, walking
+/// only through time points at which that object exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shift {
+    /// `true` for `NEXT` (towards the future), `false` for `PREV`.
+    pub forward: bool,
+    /// Minimum number of steps.
+    pub min: u32,
+    /// Maximum number of steps; `None` for open-ended indicators such as `NEXT*`.
+    pub max: Option<u32>,
+}
+
+impl Shift {
+    /// The arrival times reachable from departure time `t`, given the maximal
+    /// existence interval `within` that contains `t`.
+    pub fn arrival_from_point(&self, t: Time, within: Interval) -> Option<Interval> {
+        if self.forward {
+            let lo = t.checked_add(self.min as u64)?;
+            let hi = match self.max {
+                Some(m) => (t + m as u64).min(within.end()),
+                None => within.end(),
+            };
+            if lo > hi || lo > within.end() {
+                None
+            } else {
+                Some(Interval::of(lo, hi))
+            }
+        } else {
+            if t < self.min as u64 {
+                return None;
+            }
+            let hi = t - self.min as u64;
+            let lo = match self.max {
+                Some(m) => t.saturating_sub(m as u64).max(within.start()),
+                None => within.start(),
+            };
+            if lo > hi || hi < within.start() {
+                None
+            } else {
+                Some(Interval::of(lo, hi.min(within.end())))
+            }
+        }
+    }
+
+    /// The arrival times reachable from *some* departure time in `departure`, given
+    /// the maximal existence interval `within` containing the departure interval.
+    ///
+    /// Because the departure times form a contiguous interval, the union of the
+    /// per-departure arrival windows is itself an interval: `[departure.start + min,
+    /// departure.end + max]` for forward shifts and `[departure.start − max,
+    /// departure.end − min]` for backward shifts, clamped to `within`.
+    pub fn arrival_from_interval(&self, departure: Interval, within: Interval) -> Option<Interval> {
+        if self.forward {
+            let lo = departure.start().checked_add(self.min as u64)?;
+            let hi = match self.max {
+                Some(m) => departure.end().saturating_add(m as u64).min(within.end()),
+                None => within.end(),
+            };
+            if lo > hi {
+                return None;
+            }
+            Interval::of(lo, hi).intersect(&within)
+        } else {
+            if departure.end() < self.min as u64 {
+                return None;
+            }
+            let hi = departure.end() - self.min as u64;
+            let lo = match self.max {
+                Some(m) => departure.start().saturating_sub(m as u64).max(within.start()),
+                None => within.start(),
+            };
+            if lo > hi {
+                return None;
+            }
+            Interval::of(lo, hi).intersect(&within)
+        }
+    }
+
+    /// True if moving from `from` to `to` respects the step bounds and direction.
+    pub fn admits(&self, from: Time, to: Time) -> bool {
+        let delta = if self.forward {
+            if to < from {
+                return false;
+            }
+            to - from
+        } else {
+            if to > from {
+                return false;
+            }
+            from - to
+        };
+        delta >= self.min as u64 && self.max.map_or(true, |m| delta <= m as u64)
+    }
+}
+
+/// A complete plan: segments joined by shifts.  `shifts.len()` is always
+/// `segments.len() - 1`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnginePlan {
+    /// The structural segments.
+    pub segments: Vec<Segment>,
+    /// The temporal moves between consecutive segments.
+    pub shifts: Vec<Shift>,
+}
+
+impl EnginePlan {
+    /// True if the plan has no temporal navigation (queries Q1–Q5 of the paper); its
+    /// results stay temporally coalesced.
+    pub fn is_purely_structural(&self) -> bool {
+        self.shifts.is_empty()
+    }
+}
+
+/// The compiled form of one `MATCH` clause: one plan per union alternative plus the
+/// shared variable slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSet {
+    /// The union alternatives.
+    pub plans: Vec<EnginePlan>,
+    /// Variable names, indexed by slot.
+    pub variables: Vec<String>,
+    /// The graph name the query addresses (`ON …`).
+    pub graph: String,
+}
+
+impl PlanSet {
+    /// True if no alternative uses temporal navigation.
+    pub fn is_purely_structural(&self) -> bool {
+        self.plans.iter().all(EnginePlan::is_purely_structural)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_interval_applies_time_constraints() {
+        let mut f = ObjFilter::default();
+        assert_eq!(f.clamp_interval(Interval::of(1, 9)), Some(Interval::of(1, 9)));
+        f.time.push((CmpOp::Lt, 5));
+        assert_eq!(f.clamp_interval(Interval::of(1, 9)), Some(Interval::of(1, 4)));
+        f.time.push((CmpOp::Ge, 3));
+        assert_eq!(f.clamp_interval(Interval::of(1, 9)), Some(Interval::of(3, 4)));
+        f.time.push((CmpOp::Eq, 4));
+        assert_eq!(f.clamp_interval(Interval::of(1, 9)), Some(Interval::of(4, 4)));
+        f.time.push((CmpOp::Gt, 7));
+        assert_eq!(f.clamp_interval(Interval::of(1, 9)), None);
+        let lt_zero = ObjFilter { time: vec![(CmpOp::Lt, 0)], ..Default::default() };
+        assert_eq!(lt_zero.clamp_interval(Interval::of(0, 5)), None);
+    }
+
+    #[test]
+    fn row_matching_checks_label_and_props() {
+        let f = ObjFilter::from_pattern(
+            Some(true),
+            Some("Person"),
+            &[Constraint::Prop("risk".into(), Value::str("high"))],
+        );
+        let props = vec![
+            (std::sync::Arc::from("name"), Value::str("Mia")),
+            (std::sync::Arc::from("risk"), Value::str("high")),
+        ];
+        assert!(f.matches_row("Person", &props));
+        assert!(!f.matches_row("Room", &props));
+        let low = vec![(std::sync::Arc::from("risk"), Value::str("low"))];
+        assert!(!f.matches_row("Person", &low));
+        assert!(ObjFilter::default().is_trivial());
+        assert!(!f.is_trivial());
+    }
+
+    #[test]
+    fn shift_arrivals_forward_and_backward() {
+        let within = Interval::of(0, 48);
+        let next = Shift { forward: true, min: 0, max: Some(12) };
+        assert_eq!(next.arrival_from_point(10, within), Some(Interval::of(10, 22)));
+        assert_eq!(next.arrival_from_point(40, within), Some(Interval::of(40, 48)));
+        let next_star = Shift { forward: true, min: 0, max: None };
+        assert_eq!(next_star.arrival_from_point(10, within), Some(Interval::of(10, 48)));
+        let prev = Shift { forward: false, min: 1, max: Some(3) };
+        assert_eq!(prev.arrival_from_point(10, within), Some(Interval::of(7, 9)));
+        assert_eq!(prev.arrival_from_point(0, within), None);
+        let prev_star = Shift { forward: false, min: 0, max: None };
+        assert_eq!(prev_star.arrival_from_point(10, Interval::of(5, 48)), Some(Interval::of(5, 10)));
+    }
+
+    #[test]
+    fn shift_arrival_from_interval_covers_all_departures() {
+        let within = Interval::of(0, 48);
+        let next = Shift { forward: true, min: 2, max: Some(4) };
+        assert_eq!(
+            next.arrival_from_interval(Interval::of(10, 12), within),
+            Some(Interval::of(12, 16))
+        );
+        let prev = Shift { forward: false, min: 1, max: Some(2) };
+        assert_eq!(
+            prev.arrival_from_interval(Interval::of(10, 12), within),
+            Some(Interval::of(8, 11))
+        );
+        // Departure too close to the start of time for a backward shift.
+        let far_prev = Shift { forward: false, min: 10, max: Some(12) };
+        assert_eq!(far_prev.arrival_from_interval(Interval::of(2, 3), within), None);
+    }
+
+    #[test]
+    fn shift_admits_checks_direction_and_bounds() {
+        let next = Shift { forward: true, min: 0, max: Some(12) };
+        assert!(next.admits(5, 5));
+        assert!(next.admits(5, 17));
+        assert!(!next.admits(5, 18));
+        assert!(!next.admits(5, 4));
+        let prev_star = Shift { forward: false, min: 0, max: None };
+        assert!(prev_star.admits(9, 1));
+        assert!(!prev_star.admits(9, 10));
+        let exactly_one_back = Shift { forward: false, min: 1, max: Some(1) };
+        assert!(exactly_one_back.admits(9, 8));
+        assert!(!exactly_one_back.admits(9, 9));
+    }
+
+    #[test]
+    fn plan_structural_classification() {
+        let plain = EnginePlan { segments: vec![Segment::default()], shifts: vec![] };
+        assert!(plain.is_purely_structural());
+        let shifted = EnginePlan {
+            segments: vec![Segment::default(), Segment::default()],
+            shifts: vec![Shift { forward: true, min: 0, max: None }],
+        };
+        assert!(!shifted.is_purely_structural());
+        let set = PlanSet { plans: vec![plain, shifted], variables: vec!["x".into()], graph: "g".into() };
+        assert!(!set.is_purely_structural());
+    }
+}

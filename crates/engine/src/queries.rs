@@ -1,0 +1,51 @@
+//! Pre-compiled plans for the paper's benchmark queries Q1–Q12 and helpers for running
+//! the whole suite, used by the benchmark harness.
+
+use trpq::queries::QueryId;
+
+use crate::compiler::compile;
+use crate::executor::{execute, ExecutionOptions, QueryOutput};
+use crate::plan::PlanSet;
+use crate::relations::GraphRelations;
+
+/// The compiled plan for one of the benchmark queries.
+pub fn plan_for(id: QueryId) -> PlanSet {
+    compile(&id.clause()).expect("the built-in queries compile")
+}
+
+/// The compiled plan for a benchmark query with the temporal-navigation upper bound
+/// replaced by `m` (the Figure 4 sweep).
+pub fn plan_with_temporal_bound(id: QueryId, m: u32) -> PlanSet {
+    let clause = id.with_temporal_bound(m).expect("bound substitution parses");
+    compile(&clause).expect("the built-in queries compile")
+}
+
+/// Runs every benchmark query and returns the outputs in query order.
+pub fn run_all(graph: &GraphRelations, options: &ExecutionOptions) -> Vec<(QueryId, QueryOutput)> {
+    QueryId::ALL
+        .iter()
+        .map(|&id| (id, execute(&plan_for(id), graph, options)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_query_has_a_plan() {
+        for id in QueryId::ALL {
+            let plan = plan_for(id);
+            assert!(!plan.plans.is_empty());
+            assert_eq!(plan.graph, "contact_tracing");
+        }
+    }
+
+    #[test]
+    fn temporal_bound_substitution_changes_the_shift() {
+        let base = plan_for(QueryId::Q10);
+        let widened = plan_with_temporal_bound(QueryId::Q10, 48);
+        assert_eq!(base.plans[0].shifts[0].max, Some(12));
+        assert_eq!(widened.plans[0].shifts[0].max, Some(48));
+    }
+}

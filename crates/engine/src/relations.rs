@@ -1,0 +1,349 @@
+//! The interval-timestamped relational representation of a temporal property graph
+//! used by the engine (Section VI of the paper):
+//!
+//! ```text
+//! Nodes(id, label, properties, time)
+//! Edges(id, src, tgt, label, properties, time)
+//! ```
+//!
+//! Each row describes one maximal "no change occurred" state of a node or an edge: the
+//! object's label and property values are constant over the row's validity interval,
+//! and the rows of one object are temporally coalesced.  The row counts of these two
+//! relations are exactly the "# temp. nodes" / "# temp. edges" columns of Table I.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tgraph::{EdgeId, Interval, IntervalSet, Itpg, NodeId, Object, Time, Value};
+
+/// One temporally-constant state of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRow {
+    /// The node this row describes.
+    pub node: NodeId,
+    /// Label of the node.
+    pub label: Arc<str>,
+    /// Property values holding over the whole validity interval, sorted by name.
+    pub props: Vec<(Arc<str>, Value)>,
+    /// Validity interval of this state.
+    pub interval: Interval,
+}
+
+/// One temporally-constant state of an edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeRow {
+    /// The edge this row describes.
+    pub edge: EdgeId,
+    /// Source node of the edge.
+    pub src: NodeId,
+    /// Target node of the edge.
+    pub tgt: NodeId,
+    /// Label of the edge.
+    pub label: Arc<str>,
+    /// Property values holding over the whole validity interval, sorted by name.
+    pub props: Vec<(Arc<str>, Value)>,
+    /// Validity interval of this state.
+    pub interval: Interval,
+}
+
+impl NodeRow {
+    /// Looks up a property value of this row.
+    pub fn prop(&self, name: &str) -> Option<&Value> {
+        self.props.iter().find(|(k, _)| k.as_ref() == name).map(|(_, v)| v)
+    }
+}
+
+impl EdgeRow {
+    /// Looks up a property value of this row.
+    pub fn prop(&self, name: &str) -> Option<&Value> {
+        self.props.iter().find(|(k, _)| k.as_ref() == name).map(|(_, v)| v)
+    }
+}
+
+/// Summary statistics of the relational representation (one row of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Number of distinct nodes.
+    pub nodes: usize,
+    /// Number of distinct edges.
+    pub edges: usize,
+    /// Number of temporal node states (rows of the Nodes relation).
+    pub temporal_nodes: usize,
+    /// Number of temporal edge states (rows of the Edges relation).
+    pub temporal_edges: usize,
+}
+
+/// The pair of interval-timestamped relations plus the indexes the engine navigates
+/// with.
+#[derive(Debug, Clone)]
+pub struct GraphRelations {
+    domain: Interval,
+    nodes: Vec<NodeRow>,
+    edges: Vec<EdgeRow>,
+    node_names: Vec<String>,
+    edge_names: Vec<String>,
+    node_rows_by_id: Vec<Vec<u32>>,
+    edge_rows_by_id: Vec<Vec<u32>>,
+    edge_rows_by_src: Vec<Vec<u32>>,
+    edge_rows_by_tgt: Vec<Vec<u32>>,
+    node_existence: Vec<IntervalSet>,
+    edge_existence: Vec<IntervalSet>,
+}
+
+impl GraphRelations {
+    /// Builds the relational representation from an interval-timestamped graph.
+    pub fn from_itpg(graph: &Itpg) -> Self {
+        let mut label_cache: HashMap<String, Arc<str>> = HashMap::new();
+        let mut prop_name_cache: HashMap<String, Arc<str>> = HashMap::new();
+        let mut intern_label = |s: &str| -> Arc<str> {
+            label_cache.entry(s.to_owned()).or_insert_with(|| Arc::from(s)).clone()
+        };
+        let mut intern_prop = |s: &str| -> Arc<str> {
+            prop_name_cache.entry(s.to_owned()).or_insert_with(|| Arc::from(s)).clone()
+        };
+
+        let mut nodes = Vec::new();
+        let mut node_rows_by_id = vec![Vec::new(); graph.num_nodes()];
+        let mut node_names = Vec::with_capacity(graph.num_nodes());
+        let mut node_existence = Vec::with_capacity(graph.num_nodes());
+        for n in graph.node_ids() {
+            let o = Object::Node(n);
+            node_names.push(graph.name(o).to_owned());
+            node_existence.push(graph.existence(o).clone());
+            let label = intern_label(graph.label(o));
+            for segment in object_segments(graph, o) {
+                let props = props_at(graph, o, segment.start(), &mut intern_prop);
+                node_rows_by_id[n.index()].push(nodes.len() as u32);
+                nodes.push(NodeRow { node: n, label: label.clone(), props, interval: segment });
+            }
+        }
+
+        let mut edges = Vec::new();
+        let mut edge_rows_by_id = vec![Vec::new(); graph.num_edges()];
+        let mut edge_rows_by_src = vec![Vec::new(); graph.num_nodes()];
+        let mut edge_rows_by_tgt = vec![Vec::new(); graph.num_nodes()];
+        let mut edge_names = Vec::with_capacity(graph.num_edges());
+        let mut edge_existence = Vec::with_capacity(graph.num_edges());
+        for e in graph.edge_ids() {
+            let o = Object::Edge(e);
+            edge_names.push(graph.name(o).to_owned());
+            edge_existence.push(graph.existence(o).clone());
+            let label = intern_label(graph.label(o));
+            let (src, tgt) = (graph.src(e), graph.tgt(e));
+            for segment in object_segments(graph, o) {
+                let props = props_at(graph, o, segment.start(), &mut intern_prop);
+                let row_index = edges.len() as u32;
+                edge_rows_by_id[e.index()].push(row_index);
+                edge_rows_by_src[src.index()].push(row_index);
+                edge_rows_by_tgt[tgt.index()].push(row_index);
+                edges.push(EdgeRow { edge: e, src, tgt, label: label.clone(), props, interval: segment });
+            }
+        }
+
+        GraphRelations {
+            domain: graph.domain(),
+            nodes,
+            edges,
+            node_names,
+            edge_names,
+            node_rows_by_id,
+            edge_rows_by_id,
+            edge_rows_by_src,
+            edge_rows_by_tgt,
+            node_existence,
+            edge_existence,
+        }
+    }
+
+    /// The temporal domain of the graph.
+    pub fn domain(&self) -> Interval {
+        self.domain
+    }
+
+    /// The rows of the Nodes relation.
+    pub fn node_rows(&self) -> &[NodeRow] {
+        &self.nodes
+    }
+
+    /// The rows of the Edges relation.
+    pub fn edge_rows(&self) -> &[EdgeRow] {
+        &self.edges
+    }
+
+    /// Row indices of the Nodes relation describing the given node.
+    pub fn rows_of_node(&self, node: NodeId) -> &[u32] {
+        &self.node_rows_by_id[node.index()]
+    }
+
+    /// Row indices of the Edges relation describing the given edge.
+    pub fn rows_of_edge(&self, edge: EdgeId) -> &[u32] {
+        &self.edge_rows_by_id[edge.index()]
+    }
+
+    /// Row indices of edges whose source is the given node.
+    pub fn out_edge_rows(&self, node: NodeId) -> &[u32] {
+        &self.edge_rows_by_src[node.index()]
+    }
+
+    /// Row indices of edges whose target is the given node.
+    pub fn in_edge_rows(&self, node: NodeId) -> &[u32] {
+        &self.edge_rows_by_tgt[node.index()]
+    }
+
+    /// The coalesced existence intervals of an object.
+    pub fn existence(&self, object: Object) -> &IntervalSet {
+        match object {
+            Object::Node(n) => &self.node_existence[n.index()],
+            Object::Edge(e) => &self.edge_existence[e.index()],
+        }
+    }
+
+    /// The maximal existence interval of an object containing the time point `t`,
+    /// if the object exists at `t`.
+    pub fn existence_interval_at(&self, object: Object, t: Time) -> Option<Interval> {
+        self.existence(object).intervals().iter().find(|iv| iv.contains(t)).copied()
+    }
+
+    /// The display name of an object (e.g. `"n7"`).
+    pub fn object_name(&self, object: Object) -> &str {
+        match object {
+            Object::Node(n) => &self.node_names[n.index()],
+            Object::Edge(e) => &self.edge_names[e.index()],
+        }
+    }
+
+    /// The number of distinct nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The number of distinct edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_names.len()
+    }
+
+    /// Summary statistics of the relational representation (Table I).
+    pub fn stats(&self) -> RelationStats {
+        RelationStats {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            temporal_nodes: self.nodes.len(),
+            temporal_edges: self.edges.len(),
+        }
+    }
+}
+
+/// Splits the lifetime of an object into maximal intervals during which none of its
+/// property values change, staying within its existence intervals.
+fn object_segments(graph: &Itpg, object: Object) -> Vec<Interval> {
+    let existence = graph.existence(object);
+    let mut boundaries: Vec<Time> = Vec::new();
+    for iv in existence.intervals() {
+        boundaries.push(iv.start());
+        boundaries.push(iv.end() + 1);
+    }
+    for (_, history) in graph.properties(object) {
+        for (_, iv) in history.entries() {
+            boundaries.push(iv.start());
+            boundaries.push(iv.end() + 1);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries
+        .windows(2)
+        .filter(|w| existence.contains(w[0]))
+        .map(|w| Interval::of(w[0], w[1] - 1))
+        .collect()
+}
+
+fn props_at(
+    graph: &Itpg,
+    object: Object,
+    t: Time,
+    intern: &mut impl FnMut(&str) -> Arc<str>,
+) -> Vec<(Arc<str>, Value)> {
+    let mut props: Vec<(Arc<str>, Value)> = graph
+        .properties(object)
+        .filter_map(|(name, history)| history.value_at(t).map(|v| (intern(name), v.clone())))
+        .collect();
+    props.sort_by(|a, b| a.0.cmp(&b.0));
+    props
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::ItpgBuilder;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    fn sample() -> Itpg {
+        let mut b = ItpgBuilder::new();
+        let n1 = b.add_node("n1", "Person").unwrap();
+        let n2 = b.add_node("n2", "Person").unwrap();
+        let e1 = b.add_edge("e1", "meets", n1, n2).unwrap();
+        b.add_existence(n1, iv(1, 9)).unwrap();
+        b.add_existence(n2, iv(1, 9)).unwrap();
+        b.add_existence(e1, iv(3, 3)).unwrap();
+        b.add_existence(e1, iv(5, 6)).unwrap();
+        b.set_property(n1, "name", "Ann", iv(1, 9)).unwrap();
+        b.set_property(n1, "risk", "low", iv(1, 9)).unwrap();
+        b.set_property(n2, "name", "Bob", iv(1, 9)).unwrap();
+        b.set_property(n2, "risk", "low", iv(1, 4)).unwrap();
+        b.set_property(n2, "risk", "high", iv(5, 9)).unwrap();
+        b.set_property(e1, "loc", "cafe", iv(3, 3)).unwrap();
+        b.set_property(e1, "loc", "park", iv(5, 6)).unwrap();
+        b.domain(iv(1, 11)).build().unwrap()
+    }
+
+    #[test]
+    fn rows_match_the_papers_example_tables() {
+        // Section VI shows the Nodes rows for n2 and the Edges rows for e1.
+        let rel = GraphRelations::from_itpg(&sample());
+        let n2_rows: Vec<&NodeRow> =
+            rel.rows_of_node(NodeId(1)).iter().map(|&i| &rel.node_rows()[i as usize]).collect();
+        assert_eq!(n2_rows.len(), 2);
+        assert_eq!(n2_rows[0].interval, iv(1, 4));
+        assert_eq!(n2_rows[0].prop("risk"), Some(&Value::str("low")));
+        assert_eq!(n2_rows[0].prop("name"), Some(&Value::str("Bob")));
+        assert_eq!(n2_rows[1].interval, iv(5, 9));
+        assert_eq!(n2_rows[1].prop("risk"), Some(&Value::str("high")));
+
+        let e1_rows: Vec<&EdgeRow> =
+            rel.rows_of_edge(EdgeId(0)).iter().map(|&i| &rel.edge_rows()[i as usize]).collect();
+        assert_eq!(e1_rows.len(), 2);
+        assert_eq!(e1_rows[0].interval, iv(3, 3));
+        assert_eq!(e1_rows[0].prop("loc"), Some(&Value::str("cafe")));
+        assert_eq!(e1_rows[1].interval, iv(5, 6));
+        assert_eq!(e1_rows[1].prop("loc"), Some(&Value::str("park")));
+        assert_eq!(e1_rows[0].src, NodeId(0));
+        assert_eq!(e1_rows[0].tgt, NodeId(1));
+    }
+
+    #[test]
+    fn statistics_count_temporal_states() {
+        let rel = GraphRelations::from_itpg(&sample());
+        let stats = rel.stats();
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(stats.temporal_nodes, 3); // n1 has one state, n2 has two.
+        assert_eq!(stats.temporal_edges, 2);
+    }
+
+    #[test]
+    fn indexes_are_consistent() {
+        let rel = GraphRelations::from_itpg(&sample());
+        assert_eq!(rel.out_edge_rows(NodeId(0)).len(), 2);
+        assert!(rel.in_edge_rows(NodeId(0)).is_empty());
+        assert_eq!(rel.in_edge_rows(NodeId(1)).len(), 2);
+        assert_eq!(rel.object_name(Object::Node(NodeId(1))), "n2");
+        assert_eq!(rel.object_name(Object::Edge(EdgeId(0))), "e1");
+        assert_eq!(rel.existence(Object::Edge(EdgeId(0))).intervals(), &[iv(3, 3), iv(5, 6)]);
+        assert_eq!(rel.existence_interval_at(Object::Node(NodeId(0)), 5), Some(iv(1, 9)));
+        assert_eq!(rel.existence_interval_at(Object::Edge(EdgeId(0)), 4), None);
+        assert_eq!(rel.domain(), iv(1, 11));
+    }
+}

@@ -1,0 +1,240 @@
+//! Step 3 of query evaluation (Section VI): expansion of interval-based intermediate
+//! results into point-based bindings.
+//!
+//! Queries without temporal navigation keep their (coalesced) interval bindings.  For
+//! queries with temporal navigation, the time points of the different segments are
+//! correlated through the shifts, so the final binding table must be point-based: each
+//! chain is expanded by enumerating, segment by segment, the time points that satisfy
+//! the shift constraints.  Segments that bind no output variable and are not needed to
+//! constrain a later bound segment are only checked for feasibility, never enumerated.
+
+use tgraph::Time;
+
+use crate::bindings::{Binding, BindingTable};
+use crate::chain::Chain;
+use crate::plan::{EnginePlan, Shift};
+
+/// Expands the chains produced by a plan into binding rows and appends them to the
+/// table.
+pub fn expand_chains(plan: &EnginePlan, num_slots: usize, chains: &[Chain], table: &mut BindingTable) {
+    for chain in chains {
+        expand_chain(plan, num_slots, chain, table);
+    }
+}
+
+fn expand_chain(plan: &EnginePlan, num_slots: usize, chain: &Chain, table: &mut BindingTable) {
+    if plan.is_purely_structural() {
+        // All bindings share the chain's final interval, interpreted snapshot-wise.
+        let mut row = Vec::with_capacity(num_slots);
+        for slot in 0..num_slots {
+            let Some(var) = chain.bound.iter().find(|b| b.slot as usize == slot) else {
+                debug_assert!(false, "variable slot {slot} was never bound");
+                return;
+            };
+            row.push(Binding::over_interval(var.object, chain.interval));
+        }
+        table.push_row(row);
+        return;
+    }
+
+    let intervals = chain.all_segment_intervals();
+    // The last segment that actually binds an output variable; later segments only
+    // need a feasibility check.
+    let last_bound_segment =
+        chain.bound.iter().map(|b| b.segment as usize).max().unwrap_or(0);
+    let mut times: Vec<Time> = Vec::with_capacity(intervals.len());
+    enumerate(plan, chain, &intervals, last_bound_segment, num_slots, 0, &mut times, table);
+}
+
+/// Recursively enumerates the time point of segment `segment`, given the time points
+/// chosen for the previous segments, and emits a binding row once every bound segment
+/// has a time.
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    plan: &EnginePlan,
+    chain: &Chain,
+    intervals: &[tgraph::Interval],
+    last_bound_segment: usize,
+    num_slots: usize,
+    segment: usize,
+    times: &mut Vec<Time>,
+    table: &mut BindingTable,
+) {
+    if segment > last_bound_segment {
+        // All remaining segments are unbound: check that a consistent completion
+        // exists, then emit the row.
+        if feasible(plan, intervals, segment, *times.last().expect("at least one segment enumerated")) {
+            emit_row(chain, num_slots, times, table);
+        }
+        return;
+    }
+    let window = intervals[segment];
+    for t in window.points() {
+        if segment > 0 {
+            let shift = &plan.shifts[segment - 1];
+            if !shift.admits(times[segment - 1], t) {
+                continue;
+            }
+        }
+        times.push(t);
+        if segment == last_bound_segment && segment + 1 >= intervals.len() {
+            emit_row(chain, num_slots, times, table);
+        } else {
+            enumerate(
+                plan,
+                chain,
+                intervals,
+                last_bound_segment,
+                num_slots,
+                segment + 1,
+                times,
+                table,
+            );
+        }
+        times.pop();
+    }
+}
+
+/// True if segments `segment..` can be assigned time points consistent with the shift
+/// constraints, given that segment `segment - 1` was assigned `previous`.
+fn feasible(
+    plan: &EnginePlan,
+    intervals: &[tgraph::Interval],
+    segment: usize,
+    previous: Time,
+) -> bool {
+    if segment >= intervals.len() {
+        return true;
+    }
+    let shift: &Shift = &plan.shifts[segment - 1];
+    intervals[segment]
+        .points()
+        .any(|t| shift.admits(previous, t) && feasible(plan, intervals, segment + 1, t))
+}
+
+fn emit_row(chain: &Chain, num_slots: usize, times: &[Time], table: &mut BindingTable) {
+    let mut row = Vec::with_capacity(num_slots);
+    for slot in 0..num_slots {
+        let Some(var) = chain.bound.iter().find(|b| b.slot as usize == slot) else {
+            debug_assert!(false, "variable slot {slot} was never bound");
+            return;
+        };
+        row.push(Binding::at_point(var.object, times[var.segment as usize]));
+    }
+    table.push_row(row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::TimeRef;
+    use crate::chain::{BoundVar, Position};
+    use crate::plan::Segment;
+    use tgraph::{Interval, NodeId, Object};
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    fn structural_plan() -> EnginePlan {
+        EnginePlan { segments: vec![Segment::default()], shifts: vec![] }
+    }
+
+    fn shifted_plan(shift: Shift) -> EnginePlan {
+        EnginePlan { segments: vec![Segment::default(), Segment::default()], shifts: vec![shift] }
+    }
+
+    fn obj() -> Object {
+        Object::Node(NodeId(0))
+    }
+
+    #[test]
+    fn structural_chains_keep_interval_bindings() {
+        let chain = Chain {
+            seg_intervals: vec![],
+            bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
+            position: Position::NodeRow(0),
+            interval: iv(2, 5),
+        };
+        let mut table = BindingTable::new(vec!["x".into()]);
+        expand_chains(&structural_plan(), 1, &[chain], &mut table);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows[0][0].time, TimeRef::Interval(iv(2, 5)));
+        assert_eq!(table.point_tuple_count(), 4);
+    }
+
+    #[test]
+    fn point_expansion_respects_shift_constraints() {
+        // Two segments on the same object: seg0 over [3,4], seg1 over [5,9], linked by
+        // NEXT[2,4]; both segments bind a variable.
+        let chain = Chain {
+            seg_intervals: vec![iv(3, 4)],
+            bound: vec![
+                BoundVar { slot: 0, segment: 0, object: obj() },
+                BoundVar { slot: 1, segment: 1, object: obj() },
+            ],
+            position: Position::NodeRow(0),
+            interval: iv(5, 9),
+        };
+        let plan = shifted_plan(Shift { forward: true, min: 2, max: Some(4) });
+        let mut table = BindingTable::new(vec!["x".into(), "y".into()]);
+        expand_chains(&plan, 2, &[chain], &mut table);
+        table.sort_dedup();
+        let pairs: Vec<(Time, Time)> = table
+            .rows
+            .iter()
+            .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
+            .collect();
+        // Valid pairs: t0 in [3,4], t1 in [5,9], t1 - t0 in [2,4].
+        let expected: Vec<(Time, Time)> = (3..=4u64)
+            .flat_map(|t0| (5..=9u64).map(move |t1| (t0, t1)))
+            .filter(|(t0, t1)| t1 - t0 >= 2 && t1 - t0 <= 4)
+            .collect();
+        assert_eq!(pairs.len(), expected.len());
+        for p in expected {
+            assert!(pairs.contains(&p), "missing pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_unbound_segments_are_feasibility_checked_not_enumerated() {
+        // Only segment 0 binds a variable; segment 1 must merely be reachable.
+        let chain = Chain {
+            seg_intervals: vec![iv(0, 6)],
+            bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
+            position: Position::NodeRow(0),
+            interval: iv(8, 9),
+        };
+        let plan = shifted_plan(Shift { forward: true, min: 0, max: Some(2) });
+        let mut table = BindingTable::new(vec!["x".into()]);
+        expand_chains(&plan, 1, &[chain], &mut table);
+        table.sort_dedup();
+        // Only departure times 6, 7 … wait: departures are [0,6] and arrivals [8,9]
+        // with a maximum shift of 2, so only t0 = 6 (→ 8) is feasible.
+        let times: Vec<Time> = table.rows.iter().map(|r| r[0].time.as_point().unwrap()).collect();
+        assert_eq!(times, vec![6]);
+    }
+
+    #[test]
+    fn backward_shifts_expand_correctly() {
+        let chain = Chain {
+            seg_intervals: vec![iv(7, 8)],
+            bound: vec![
+                BoundVar { slot: 0, segment: 0, object: obj() },
+                BoundVar { slot: 1, segment: 1, object: obj() },
+            ],
+            position: Position::NodeRow(0),
+            interval: iv(2, 6),
+        };
+        let plan = shifted_plan(Shift { forward: false, min: 1, max: Some(1) });
+        let mut table = BindingTable::new(vec!["x".into(), "y".into()]);
+        expand_chains(&plan, 2, &[chain], &mut table);
+        table.sort_dedup();
+        let pairs: Vec<(Time, Time)> = table
+            .rows
+            .iter()
+            .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(7, 6)]);
+    }
+}

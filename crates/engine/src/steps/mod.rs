@@ -1,0 +1,5 @@
+//! The three evaluation steps of Section VI.
+
+pub mod expand;
+pub mod structural;
+pub mod temporal;

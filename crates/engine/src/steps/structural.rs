@@ -1,0 +1,228 @@
+//! Step 1 of query evaluation (Section VI): structural navigation over the
+//! interval-timestamped relations.
+//!
+//! A segment is a select–project–join pipeline evaluated entirely on intervals: every
+//! hop joins the current rows with the adjacent Nodes/Edges rows through the adjacency
+//! indexes and intersects validity intervals ("temporally-aligned" matches), and every
+//! filter prunes rows and clamps intervals.
+
+use crate::chain::{BoundVar, Chain, Position};
+use crate::plan::{HopDirection, MicroOp, ObjFilter, Segment};
+use crate::relations::GraphRelations;
+
+/// Applies every operation of a segment to the given chains, returning the surviving
+/// chains.
+pub fn apply_segment(graph: &GraphRelations, chains: Vec<Chain>, segment: &Segment) -> Vec<Chain> {
+    let mut current = chains;
+    for op in &segment.ops {
+        current = apply_op(graph, current, op);
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+fn apply_op(graph: &GraphRelations, chains: Vec<Chain>, op: &MicroOp) -> Vec<Chain> {
+    match op {
+        MicroOp::Filter(filter) => chains
+            .into_iter()
+            .filter_map(|chain| apply_filter(graph, chain, filter))
+            .collect(),
+        MicroOp::Bind(slot) => chains
+            .into_iter()
+            .map(|mut chain| {
+                chain.bound.push(BoundVar {
+                    slot: *slot as u32,
+                    segment: chain.current_segment(),
+                    object: chain.position.object(graph),
+                });
+                chain
+            })
+            .collect(),
+        MicroOp::Hop(direction) => {
+            let mut out = Vec::with_capacity(chains.len());
+            for chain in chains {
+                hop(graph, &chain, *direction, &mut out);
+            }
+            out
+        }
+    }
+}
+
+fn apply_filter(graph: &GraphRelations, mut chain: Chain, filter: &ObjFilter) -> Option<Chain> {
+    let ok = match chain.position {
+        Position::NodeRow(r) => {
+            let row = &graph.node_rows()[r as usize];
+            filter.require_node != Some(false) && filter.matches_row(&row.label, &row.props)
+        }
+        Position::EdgeRow(r) => {
+            let row = &graph.edge_rows()[r as usize];
+            filter.require_node != Some(true) && filter.matches_row(&row.label, &row.props)
+        }
+    };
+    if !ok {
+        return None;
+    }
+    chain.interval = filter.clamp_interval(chain.interval)?;
+    Some(chain)
+}
+
+/// One structural step: node → incident edge, or edge → endpoint node, keeping only
+/// temporally-aligned matches (non-empty interval intersections).
+fn hop(graph: &GraphRelations, chain: &Chain, direction: HopDirection, out: &mut Vec<Chain>) {
+    match (chain.position, direction) {
+        (Position::NodeRow(r), HopDirection::Forward) => {
+            let node = graph.node_rows()[r as usize].node;
+            extend_with_edge_rows(graph, chain, graph.out_edge_rows(node), out);
+        }
+        (Position::NodeRow(r), HopDirection::Backward) => {
+            let node = graph.node_rows()[r as usize].node;
+            extend_with_edge_rows(graph, chain, graph.in_edge_rows(node), out);
+        }
+        (Position::EdgeRow(r), HopDirection::Forward) => {
+            let tgt = graph.edge_rows()[r as usize].tgt;
+            extend_with_node_rows(graph, chain, graph.rows_of_node(tgt), out);
+        }
+        (Position::EdgeRow(r), HopDirection::Backward) => {
+            let src = graph.edge_rows()[r as usize].src;
+            extend_with_node_rows(graph, chain, graph.rows_of_node(src), out);
+        }
+    }
+}
+
+fn extend_with_edge_rows(graph: &GraphRelations, chain: &Chain, rows: &[u32], out: &mut Vec<Chain>) {
+    for &edge_row in rows {
+        let row_interval = graph.edge_rows()[edge_row as usize].interval;
+        if let Some(interval) = chain.interval.intersect(&row_interval) {
+            let mut next = chain.clone();
+            next.position = Position::EdgeRow(edge_row);
+            next.interval = interval;
+            out.push(next);
+        }
+    }
+}
+
+fn extend_with_node_rows(graph: &GraphRelations, chain: &Chain, rows: &[u32], out: &mut Vec<Chain>) {
+    for &node_row in rows {
+        let row_interval = graph.node_rows()[node_row as usize].interval;
+        if let Some(interval) = chain.interval.intersect(&row_interval) {
+            let mut next = chain.clone();
+            next.position = Position::NodeRow(node_row);
+            next.interval = interval;
+            out.push(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{Interval, ItpgBuilder, Value};
+    use trpq::parser::Constraint;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    fn graph() -> GraphRelations {
+        let mut b = ItpgBuilder::new();
+        let ann = b.add_node("ann", "Person").unwrap();
+        let bob = b.add_node("bob", "Person").unwrap();
+        let room = b.add_node("room", "Room").unwrap();
+        let meets = b.add_edge("m", "meets", ann, bob).unwrap();
+        let visits = b.add_edge("v", "visits", bob, room).unwrap();
+        b.add_existence(ann, iv(1, 9)).unwrap();
+        b.add_existence(bob, iv(1, 9)).unwrap();
+        b.add_existence(room, iv(3, 8)).unwrap();
+        b.add_existence(meets, iv(5, 6)).unwrap();
+        b.add_existence(visits, iv(6, 8)).unwrap();
+        b.set_property(ann, "risk", "low", iv(1, 9)).unwrap();
+        b.set_property(bob, "risk", "high", iv(1, 9)).unwrap();
+        GraphRelations::from_itpg(&b.domain(iv(1, 11)).build().unwrap())
+    }
+
+    fn seeds(graph: &GraphRelations) -> Vec<Chain> {
+        (0..graph.node_rows().len() as u32).map(|r| Chain::seed(r, graph)).collect()
+    }
+
+    #[test]
+    fn filters_prune_rows_and_clamp_intervals() {
+        let g = graph();
+        let filter = ObjFilter::from_pattern(
+            Some(true),
+            Some("Person"),
+            &[Constraint::Prop("risk".into(), Value::str("high"))],
+        );
+        let segment = Segment { ops: vec![MicroOp::Filter(filter), MicroOp::Bind(0)] };
+        let result = apply_segment(&g, seeds(&g), &segment);
+        assert_eq!(result.len(), 1);
+        assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
+        assert_eq!(result[0].interval, iv(1, 9));
+        assert_eq!(result[0].bound.len(), 1);
+
+        let time_filter = ObjFilter::from_pattern(
+            Some(true),
+            None,
+            &[Constraint::Time(trpq::parser::CmpOp::Lt, 4)],
+        );
+        let clamped = apply_segment(&g, seeds(&g), &Segment { ops: vec![MicroOp::Filter(time_filter)] });
+        // Every node row survives but clamped below time 4; the Room row starts at 3.
+        assert_eq!(clamped.len(), 3);
+        assert!(clamped.iter().all(|c| c.interval.end() <= 3));
+    }
+
+    #[test]
+    fn hops_follow_edges_and_intersect_intervals() {
+        let g = graph();
+        // ann --meets--> bob: hop forward twice from Person rows labelled 'low'.
+        let segment = Segment {
+            ops: vec![
+                MicroOp::Filter(ObjFilter::from_pattern(
+                    Some(true),
+                    None,
+                    &[Constraint::Prop("risk".into(), Value::str("low"))],
+                )),
+                MicroOp::Hop(HopDirection::Forward),
+                MicroOp::Filter(ObjFilter { label: Some("meets".into()), ..Default::default() }),
+                MicroOp::Hop(HopDirection::Forward),
+            ],
+        };
+        let result = apply_segment(&g, seeds(&g), &segment);
+        assert_eq!(result.len(), 1);
+        assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
+        // Interval is the intersection of ann [1,9], meets [5,6], bob [1,9].
+        assert_eq!(result[0].interval, iv(5, 6));
+    }
+
+    #[test]
+    fn backward_hops_traverse_against_edge_direction() {
+        let g = graph();
+        // Start from the Room, go backward over `visits` to the visitor.
+        let segment = Segment {
+            ops: vec![
+                MicroOp::Filter(ObjFilter { label: Some("Room".into()), ..Default::default() }),
+                MicroOp::Hop(HopDirection::Backward),
+                MicroOp::Filter(ObjFilter { label: Some("visits".into()), ..Default::default() }),
+                MicroOp::Hop(HopDirection::Backward),
+            ],
+        };
+        let result = apply_segment(&g, seeds(&g), &segment);
+        assert_eq!(result.len(), 1);
+        assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
+        assert_eq!(result[0].interval, iv(6, 8));
+    }
+
+    #[test]
+    fn dead_ends_produce_no_chains() {
+        let g = graph();
+        let segment = Segment {
+            ops: vec![
+                MicroOp::Filter(ObjFilter { label: Some("Room".into()), ..Default::default() }),
+                MicroOp::Hop(HopDirection::Forward),
+            ],
+        };
+        // The room has no outgoing edges.
+        assert!(apply_segment(&g, seeds(&g), &segment).is_empty());
+    }
+}

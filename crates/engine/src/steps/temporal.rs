@@ -1,0 +1,136 @@
+//! Step 2 of query evaluation (Section VI): interval-based reasoning for temporal
+//! navigation.
+//!
+//! A [`Shift`](crate::plan::Shift) moves the cursor in time on the object the previous
+//! segment ended on.  In the practical language every traversed temporal object must
+//! exist, so the move is confined to the maximal existence interval containing the
+//! departure times; the arrival window is computed with interval arithmetic and
+//! intersected with the object's rows, which both starts the next segment and prunes
+//! matches that can never satisfy the temporal constraint (the pruning the paper
+//! describes for Q7).
+
+use crate::chain::{Chain, Position};
+use crate::plan::Shift;
+use crate::relations::GraphRelations;
+
+/// Applies a temporal shift to every chain, finishing their current segment and
+/// seeding the next one on the same object at the shifted times.
+pub fn apply_shift(graph: &GraphRelations, chains: Vec<Chain>, shift: &Shift) -> Vec<Chain> {
+    let mut out = Vec::with_capacity(chains.len());
+    for chain in chains {
+        let object = chain.position.object(graph);
+        // The departure interval lies inside a single maximal existence interval of
+        // the object (rows never span existence gaps), and the practical language
+        // requires every intermediate time point to exist, so arrivals stay inside it.
+        let Some(within) = graph.existence_interval_at(object, chain.interval.start()) else {
+            continue;
+        };
+        let Some(arrival) = shift.arrival_from_interval(chain.interval, within) else {
+            continue;
+        };
+        let row_indices: Vec<u32> = match chain.position {
+            Position::NodeRow(_) => graph
+                .rows_of_node(object.as_node().expect("node position refers to a node"))
+                .to_vec(),
+            Position::EdgeRow(_) => graph
+                .rows_of_edge(object.as_edge().expect("edge position refers to an edge"))
+                .to_vec(),
+        };
+        for row in row_indices {
+            let (position, row_interval) = match chain.position {
+                Position::NodeRow(_) => {
+                    (Position::NodeRow(row), graph.node_rows()[row as usize].interval)
+                }
+                Position::EdgeRow(_) => {
+                    (Position::EdgeRow(row), graph.edge_rows()[row as usize].interval)
+                }
+            };
+            if let Some(interval) = arrival.intersect(&row_interval) {
+                let mut next = chain.clone();
+                next.seg_intervals.push(chain.interval);
+                next.position = position;
+                next.interval = interval;
+                out.push(next);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{Interval, ItpgBuilder};
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    /// Eve exists on [2,8] and again on [10,11], testing positive on [7,8].
+    fn graph() -> GraphRelations {
+        let mut b = ItpgBuilder::new();
+        let eve = b.add_node("eve", "Person").unwrap();
+        b.add_existence(eve, iv(2, 8)).unwrap();
+        b.add_existence(eve, iv(10, 11)).unwrap();
+        b.set_property(eve, "test", "pos", iv(7, 8)).unwrap();
+        GraphRelations::from_itpg(&b.domain(iv(0, 12)).build().unwrap())
+    }
+
+    fn chain_at(graph: &GraphRelations, row: usize) -> Chain {
+        Chain::seed(row as u32, graph)
+    }
+
+    #[test]
+    fn backward_shift_stays_within_the_existence_interval() {
+        let g = graph();
+        // Row 1 is eve's [7,8] "pos" state (row 0 is [2,6], row 2 is [10,11]).
+        let pos_row = g
+            .node_rows()
+            .iter()
+            .position(|r| r.prop("test").is_some())
+            .expect("positive-test row exists");
+        let chain = chain_at(&g, pos_row);
+        assert_eq!(chain.interval, iv(7, 8));
+        // PREV*: arrival anywhere earlier within the existence interval [2,8].
+        let shifted = apply_shift(&g, vec![chain.clone()], &Shift { forward: false, min: 0, max: None });
+        let intervals: Vec<Interval> = shifted.iter().map(|c| c.interval).collect();
+        assert_eq!(intervals.len(), 2); // lands on the [2,6] row and the [7,8] row
+        assert!(intervals.contains(&iv(2, 6)));
+        assert!(intervals.contains(&iv(7, 8)));
+        assert!(shifted.iter().all(|c| c.seg_intervals == vec![iv(7, 8)]));
+
+        // PREV[0,1]: at most one step back.
+        let shifted = apply_shift(&g, vec![chain], &Shift { forward: false, min: 0, max: Some(1) });
+        let intervals: Vec<Interval> = shifted.iter().map(|c| c.interval).collect();
+        assert!(intervals.contains(&iv(6, 6)));
+        assert!(intervals.contains(&iv(7, 8)));
+    }
+
+    #[test]
+    fn forward_shift_cannot_jump_over_an_existence_gap() {
+        let g = graph();
+        let chain = chain_at(&g, 0); // [2,6] state
+        // NEXT*: can reach up to time 8, but never the [10,11] state across the gap.
+        let shifted = apply_shift(&g, vec![chain], &Shift { forward: true, min: 0, max: None });
+        assert!(shifted.iter().all(|c| c.interval.end() <= 8));
+        assert_eq!(shifted.len(), 2);
+    }
+
+    #[test]
+    fn minimum_step_counts_prune_departures() {
+        let g = graph();
+        let chain = chain_at(&g, 0); // [2,6]
+        // NEXT[5,_]: only departures early enough can move 5 steps while existing.
+        let shifted = apply_shift(&g, vec![chain], &Shift { forward: true, min: 5, max: None });
+        // Arrival window is [7, 8]: reachable only from departure times 2 or 3.
+        assert_eq!(shifted.len(), 1);
+        assert_eq!(shifted[0].interval, iv(7, 8));
+        // A shift larger than the existence interval yields nothing.
+        let none = apply_shift(
+            &g,
+            vec![chain_at(&g, 0)],
+            &Shift { forward: true, min: 12, max: Some(20) },
+        );
+        assert!(none.is_empty());
+    }
+}

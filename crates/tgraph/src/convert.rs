@@ -1,0 +1,224 @@
+//! Conversions between the point-based (TPG) and interval-based (ITPG)
+//! representations of temporal property graphs.
+//!
+//! Every TPG can be transformed into an ITPG by coalescing consecutive time points
+//! with the same values into maximal intervals, and every ITPG can be expanded back
+//! into a TPG (`can(·)` in the paper); the two representations denote the same
+//! conceptual object, so the round trip is the identity.
+
+use std::collections::BTreeMap;
+
+use crate::interval::Interval;
+use crate::interval_set::IntervalSet;
+use crate::itpg::{IntervalObjectData, Itpg};
+use crate::tpg::{PointObjectData, Tpg};
+use crate::valued::ValuedIntervals;
+
+fn point_to_interval_data(data: &PointObjectData) -> IntervalObjectData {
+    let mut props = BTreeMap::new();
+    for (prop, history) in &data.props {
+        let mut vi = ValuedIntervals::empty();
+        for (&t, value) in history {
+            vi.assign_point(value.clone(), t);
+        }
+        props.insert(prop.clone(), vi);
+    }
+    IntervalObjectData {
+        name: data.name.clone(),
+        label: data.label.clone(),
+        existence: data.existence.clone(),
+        props,
+    }
+}
+
+fn interval_to_point_data(data: &IntervalObjectData) -> PointObjectData {
+    let mut props = BTreeMap::new();
+    for (prop, history) in &data.props {
+        let mut per_time: BTreeMap<_, _> = BTreeMap::new();
+        for (t, value) in history.points() {
+            per_time.insert(t, value.clone());
+        }
+        props.insert(prop.clone(), per_time);
+    }
+    PointObjectData {
+        name: data.name.clone(),
+        label: data.label.clone(),
+        existence: data.existence.clone(),
+        props,
+    }
+}
+
+impl Tpg {
+    /// Transforms this point-based graph into the equivalent interval-based graph by
+    /// coalescing value-equivalent, temporally adjacent time points (Section III.B).
+    pub fn to_itpg(&self) -> Itpg {
+        Itpg {
+            domain: self.domain,
+            nodes: self.nodes.iter().map(point_to_interval_data).collect(),
+            edges: self.edges.iter().map(point_to_interval_data).collect(),
+            endpoints: self.endpoints.clone(),
+            out_edges: self.out_edges.clone(),
+            in_edges: self.in_edges.clone(),
+            names: self.names.clone(),
+        }
+    }
+}
+
+impl Itpg {
+    /// Expands this interval-based graph into the equivalent point-based graph
+    /// (the canonical translation `can(I)` used to define `⟦path⟧_I`).
+    ///
+    /// Note that this expansion can be exponentially larger than the ITPG when the
+    /// intervals are long — the reason the paper studies evaluation directly over
+    /// ITPGs.
+    pub fn to_tpg(&self) -> Tpg {
+        Tpg {
+            domain: self.domain,
+            nodes: self.nodes.iter().map(interval_to_point_data).collect(),
+            edges: self.edges.iter().map(interval_to_point_data).collect(),
+            endpoints: self.endpoints.clone(),
+            out_edges: self.out_edges.clone(),
+            in_edges: self.in_edges.clone(),
+            names: self.names.clone(),
+        }
+    }
+
+    /// Restricts the graph to a temporal window, dropping all existence and property
+    /// information outside `window` and shrinking the domain accordingly.  Objects
+    /// that never exist inside the window are kept (with empty existence) so that ids
+    /// remain stable.
+    pub fn restrict_to(&self, window: Interval) -> Itpg {
+        let domain = self.domain.intersect(&window).unwrap_or(window);
+        let clamp = |data: &IntervalObjectData| -> IntervalObjectData {
+            let existence = data.existence.clamp(&domain);
+            let mut props = BTreeMap::new();
+            for (prop, history) in &data.props {
+                let mut clamped = ValuedIntervals::empty();
+                for (value, iv) in history.entries() {
+                    if let Some(x) = iv.intersect(&domain) {
+                        clamped.assign(value.clone(), x);
+                    }
+                }
+                if !clamped.is_empty() {
+                    props.insert(prop.clone(), clamped);
+                }
+            }
+            IntervalObjectData { name: data.name.clone(), label: data.label.clone(), existence, props }
+        };
+        Itpg {
+            domain,
+            nodes: self.nodes.iter().map(&clamp).collect(),
+            edges: self.edges.iter().map(&clamp).collect(),
+            endpoints: self.endpoints.clone(),
+            out_edges: self.out_edges.clone(),
+            in_edges: self.in_edges.clone(),
+            names: self.names.clone(),
+        }
+    }
+}
+
+/// Checks that two representations describe the same conceptual temporal graph, by
+/// comparing domains, labels, topology, existence sets and property histories.
+pub fn equivalent(tpg: &Tpg, itpg: &Itpg) -> bool {
+    if tpg.domain() != itpg.domain()
+        || tpg.num_nodes() != itpg.num_nodes()
+        || tpg.num_edges() != itpg.num_edges()
+    {
+        return false;
+    }
+    for e in tpg.edge_ids() {
+        if tpg.src(e) != itpg.src(e) || tpg.tgt(e) != itpg.tgt(e) {
+            return false;
+        }
+    }
+    for o in tpg.objects() {
+        if tpg.label(o) != itpg.label(o) || tpg.name(o) != itpg.name(o) {
+            return false;
+        }
+        let point_existence: IntervalSet = tpg.existence(o).clone();
+        if &point_existence != itpg.existence(o) {
+            return false;
+        }
+        for t in tpg.domain().points() {
+            let props: Vec<&str> = tpg.property_names(o).collect();
+            for p in props {
+                if tpg.prop_value(o, p, t) != itpg.prop_value_at(o, p, t) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itpg::ItpgBuilder;
+    use crate::tpg::TpgBuilder;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    fn sample_itpg() -> Itpg {
+        let mut b = ItpgBuilder::new();
+        let p = b.add_node("p", "Person").unwrap();
+        let r = b.add_node("r", "Room").unwrap();
+        let e = b.add_edge("e", "visits", p, r).unwrap();
+        b.add_existence(p, iv(1, 9)).unwrap();
+        b.add_existence(r, iv(3, 8)).unwrap();
+        b.add_existence(e, iv(5, 6)).unwrap();
+        b.set_property(p, "risk", "low", iv(1, 4)).unwrap();
+        b.set_property(p, "risk", "high", iv(5, 9)).unwrap();
+        b.set_property(e, "loc", "park", iv(5, 6)).unwrap();
+        b.domain(iv(1, 11)).build().unwrap()
+    }
+
+    #[test]
+    fn itpg_tpg_round_trip_is_identity() {
+        let itpg = sample_itpg();
+        let tpg = itpg.to_tpg();
+        let back = tpg.to_itpg();
+        assert_eq!(itpg, back);
+        assert!(equivalent(&tpg, &itpg));
+    }
+
+    #[test]
+    fn tpg_itpg_round_trip_is_identity() {
+        let mut b = TpgBuilder::new();
+        let p = b.add_node("p", "Person").unwrap();
+        b.set_exists_during(p, iv(1, 3)).unwrap();
+        b.set_exists(p, 5).unwrap();
+        b.set_prop_during(p, "risk", iv(1, 2), "low").unwrap();
+        b.set_prop(p, "risk", 3, "high").unwrap();
+        let tpg = b.domain(iv(1, 6)).build().unwrap();
+        let itpg = tpg.to_itpg();
+        assert_eq!(itpg.existence(crate::ids::Object::Node(p)).intervals(), &[iv(1, 3), iv(5, 5)]);
+        let back = itpg.to_tpg();
+        assert_eq!(tpg, back);
+        assert!(equivalent(&tpg, &itpg));
+    }
+
+    #[test]
+    fn expansion_validates() {
+        let itpg = sample_itpg();
+        let tpg = itpg.to_tpg();
+        tpg.validate().unwrap();
+        assert_eq!(tpg.prop_value(crate::ids::Object::Node(crate::ids::NodeId(0)), "risk", 5).unwrap(),
+                   &crate::value::Value::str("high"));
+    }
+
+    #[test]
+    fn restrict_to_window() {
+        let itpg = sample_itpg();
+        let restricted = itpg.restrict_to(iv(4, 6));
+        assert_eq!(restricted.domain(), iv(4, 6));
+        let p = crate::ids::Object::Node(crate::ids::NodeId(0));
+        assert_eq!(restricted.existence(p).intervals(), &[iv(4, 6)]);
+        assert_eq!(restricted.prop_value_at(p, "risk", 4).unwrap(), &crate::value::Value::str("low"));
+        assert_eq!(restricted.prop_value_at(p, "risk", 5).unwrap(), &crate::value::Value::str("high"));
+        assert_eq!(restricted.prop_value_at(p, "risk", 7), None);
+        restricted.validate().unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for constructing and manipulating temporal property graphs.
+
+use std::fmt;
+
+use crate::ids::{EdgeId, NodeId, Object};
+use crate::interval::Time;
+
+/// Errors produced while building or validating temporal property graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An interval was constructed with `start > end`.
+    InvalidInterval {
+        /// Claimed starting point.
+        start: Time,
+        /// Claimed ending point.
+        end: Time,
+    },
+    /// A node id was referenced that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// An edge id was referenced that does not exist in the graph.
+    UnknownEdge(EdgeId),
+    /// A node or edge name was referenced that does not exist in the graph.
+    UnknownName(String),
+    /// A node or edge name was registered twice.
+    DuplicateName(String),
+    /// An object was declared to exist outside the temporal domain of the graph.
+    OutsideDomain {
+        /// The offending node or edge.
+        object: Object,
+        /// The time point outside the domain.
+        time: Time,
+    },
+    /// An edge exists at a time point at which one of its endpoints does not exist
+    /// (violates Definition III.1 of the paper).
+    DanglingEdge {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The endpoint that does not exist.
+        endpoint: NodeId,
+        /// The time point at which the violation occurs.
+        time: Time,
+    },
+    /// A property value is defined at a time point at which the object does not exist
+    /// (violates Definition III.1 of the paper).
+    PropertyWithoutExistence {
+        /// The offending node or edge.
+        object: Object,
+        /// The property that has a value.
+        property: String,
+        /// The time point at which the violation occurs.
+        time: Time,
+    },
+    /// The temporal domain is empty or inverted.
+    EmptyDomain,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidInterval { start, end } => {
+                write!(f, "invalid interval: start {start} is greater than end {end}")
+            }
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id:?}"),
+            GraphError::UnknownEdge(id) => write!(f, "unknown edge id {id:?}"),
+            GraphError::UnknownName(name) => write!(f, "unknown object name '{name}'"),
+            GraphError::DuplicateName(name) => write!(f, "duplicate object name '{name}'"),
+            GraphError::OutsideDomain { object, time } => {
+                write!(f, "object {object:?} declared at time {time} outside the temporal domain")
+            }
+            GraphError::DanglingEdge { edge, endpoint, time } => write!(
+                f,
+                "edge {edge:?} exists at time {time} but its endpoint {endpoint:?} does not"
+            ),
+            GraphError::PropertyWithoutExistence { object, property, time } => write!(
+                f,
+                "property '{property}' of {object:?} has a value at time {time} but the object does not exist then"
+            ),
+            GraphError::EmptyDomain => write!(f, "temporal domain is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

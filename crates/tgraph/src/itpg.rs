@@ -1,0 +1,455 @@
+//! The interval-timestamped temporal property graph (ITPG) of Appendix A
+//! (Definition A.1): a succinct representation of a TPG where the existence of each
+//! object is a coalesced family of intervals and each property history is a coalesced
+//! family of valued intervals.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, NodeId, Object};
+use crate::interval::{Interval, Time};
+use crate::interval_set::IntervalSet;
+use crate::value::Value;
+use crate::valued::ValuedIntervals;
+
+/// Per-object payload shared by nodes and edges in the interval-based representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct IntervalObjectData {
+    pub(crate) name: String,
+    pub(crate) label: String,
+    /// ξ(o): coalesced set of maximal intervals during which the object exists.
+    pub(crate) existence: IntervalSet,
+    /// σ(o, p): property name → coalesced valued-interval history.
+    pub(crate) props: BTreeMap<String, ValuedIntervals>,
+}
+
+/// An interval-timestamped temporal property graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Itpg {
+    pub(crate) domain: Interval,
+    pub(crate) nodes: Vec<IntervalObjectData>,
+    pub(crate) edges: Vec<IntervalObjectData>,
+    pub(crate) endpoints: Vec<(NodeId, NodeId)>,
+    pub(crate) out_edges: Vec<Vec<EdgeId>>,
+    pub(crate) in_edges: Vec<Vec<EdgeId>>,
+    pub(crate) names: BTreeMap<String, Object>,
+}
+
+impl Itpg {
+    /// The temporal domain Ω of the graph (an interval of ℕ).
+    pub fn domain(&self) -> Interval {
+        self.domain
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The number of *temporal* nodes: one per maximal state of a node, i.e. one per
+    /// distinct `(existence interval × property change)` segment.  This is the
+    /// quantity reported in Table I of the paper ("# temp. nodes").
+    pub fn num_temporal_nodes(&self) -> usize {
+        self.nodes.iter().map(segment_count).sum()
+    }
+
+    /// The number of temporal edges (see [`Itpg::num_temporal_nodes`]).
+    pub fn num_temporal_edges(&self) -> usize {
+        self.edges.iter().map(segment_count).sum()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over all objects (nodes then edges).
+    pub fn objects(&self) -> impl Iterator<Item = Object> + '_ {
+        self.node_ids().map(Object::Node).chain(self.edge_ids().map(Object::Edge))
+    }
+
+    pub(crate) fn data(&self, object: Object) -> &IntervalObjectData {
+        match object {
+            Object::Node(n) => &self.nodes[n.index()],
+            Object::Edge(e) => &self.edges[e.index()],
+        }
+    }
+
+    /// Returns the object registered under the given display name (e.g. `"n1"`).
+    pub fn object_by_name(&self, name: &str) -> Option<Object> {
+        self.names.get(name).copied()
+    }
+
+    /// Returns the node registered under the given display name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.object_by_name(name).and_then(Object::as_node)
+    }
+
+    /// Returns the edge registered under the given display name.
+    pub fn edge_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.object_by_name(name).and_then(Object::as_edge)
+    }
+
+    /// The display name of an object.
+    pub fn name(&self, object: Object) -> &str {
+        &self.data(object).name
+    }
+
+    /// The label λ(o) of an object.
+    pub fn label(&self, object: Object) -> &str {
+        &self.data(object).label
+    }
+
+    /// The coalesced existence intervals ξ(o) of an object.
+    pub fn existence(&self, object: Object) -> &IntervalSet {
+        &self.data(object).existence
+    }
+
+    /// True if the object exists at time `t`.
+    pub fn exists_at(&self, object: Object, t: Time) -> bool {
+        self.data(object).existence.contains(t)
+    }
+
+    /// The coalesced valued-interval history σ(o, p) of a property, if the property is
+    /// ever defined for the object.
+    pub fn property(&self, object: Object, prop: &str) -> Option<&ValuedIntervals> {
+        self.data(object).props.get(prop)
+    }
+
+    /// The value of property `prop` of `object` at time `t`, if defined.
+    pub fn prop_value_at(&self, object: Object, prop: &str, t: Time) -> Option<&Value> {
+        self.property(object, prop).and_then(|h| h.value_at(t))
+    }
+
+    /// Iterates over `(property name, history)` pairs of an object.
+    pub fn properties(&self, object: Object) -> impl Iterator<Item = (&str, &ValuedIntervals)> + '_ {
+        self.data(object).props.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The source node of an edge.
+    pub fn src(&self, edge: EdgeId) -> NodeId {
+        self.endpoints[edge.index()].0
+    }
+
+    /// The target node of an edge.
+    pub fn tgt(&self, edge: EdgeId) -> NodeId {
+        self.endpoints[edge.index()].1
+    }
+
+    /// The edges whose source is `node`.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out_edges[node.index()]
+    }
+
+    /// The edges whose target is `node`.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.in_edges[node.index()]
+    }
+
+    /// Validates the well-formedness conditions of Definition A.1: existence sets and
+    /// property supports lie within the domain, edge existence is contained in the
+    /// existence of both endpoints, property support is contained in the object's
+    /// existence, and all families are coalesced.
+    pub fn validate(&self) -> Result<()> {
+        let domain_set = IntervalSet::from_interval(self.domain);
+        for (idx, edge) in self.edges.iter().enumerate() {
+            let eid = EdgeId(idx as u32);
+            let (src, tgt) = self.endpoints[idx];
+            for endpoint in [src, tgt] {
+                if !edge.existence.contained_in(&self.nodes[endpoint.index()].existence) {
+                    let t = edge.existence.min().unwrap_or(self.domain.start());
+                    return Err(GraphError::DanglingEdge { edge: eid, endpoint, time: t });
+                }
+            }
+        }
+        for object in self.objects().collect::<Vec<_>>() {
+            let data = self.data(object);
+            debug_assert!(data.existence.is_coalesced());
+            if !data.existence.contained_in(&domain_set) {
+                let t = data
+                    .existence
+                    .intervals()
+                    .iter()
+                    .find(|iv| !iv.during(&self.domain))
+                    .map(|iv| iv.start())
+                    .unwrap_or(self.domain.start());
+                return Err(GraphError::OutsideDomain { object, time: t });
+            }
+            for (prop, history) in &data.props {
+                debug_assert!(history.is_coalesced());
+                if !history.support().contained_in(&data.existence) {
+                    let t = history.support().min().unwrap_or(self.domain.start());
+                    return Err(GraphError::PropertyWithoutExistence {
+                        object,
+                        property: prop.clone(),
+                        time: t,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Number of maximal "no change occurred" segments of an object: the states obtained
+/// by splitting its existence intervals at every property-change boundary.
+fn segment_count(data: &IntervalObjectData) -> usize {
+    let mut boundaries: Vec<Time> = Vec::new();
+    for iv in data.existence.intervals() {
+        boundaries.push(iv.start());
+        boundaries.push(iv.end() + 1);
+    }
+    for history in data.props.values() {
+        for (_, iv) in history.entries() {
+            boundaries.push(iv.start());
+            boundaries.push(iv.end() + 1);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    // Count segments [b_i, b_{i+1}-1] that fall inside the existence set.
+    boundaries
+        .windows(2)
+        .filter(|w| data.existence.contains(w[0]))
+        .count()
+}
+
+/// Incremental builder for interval-timestamped TPGs.
+#[derive(Debug, Default)]
+pub struct ItpgBuilder {
+    domain: Option<Interval>,
+    nodes: Vec<IntervalObjectData>,
+    edges: Vec<IntervalObjectData>,
+    endpoints: Vec<(NodeId, NodeId)>,
+    names: BTreeMap<String, Object>,
+    min_time: Option<Time>,
+    max_time: Option<Time>,
+}
+
+impl ItpgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ItpgBuilder::default()
+    }
+
+    /// Sets the temporal domain Ω explicitly; otherwise it is inferred from the
+    /// intervals mentioned while building.
+    pub fn domain(mut self, domain: Interval) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    fn note_interval(&mut self, interval: Interval) {
+        self.min_time = Some(self.min_time.map_or(interval.start(), |m| m.min(interval.start())));
+        self.max_time = Some(self.max_time.map_or(interval.end(), |m| m.max(interval.end())));
+    }
+
+    fn register_name(&mut self, name: &str, object: Object) -> Result<()> {
+        if self.names.insert(name.to_owned(), object).is_some() {
+            return Err(GraphError::DuplicateName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Adds a node with the given display name and label.
+    pub fn add_node(&mut self, name: &str, label: &str) -> Result<NodeId> {
+        let id = NodeId(self.nodes.len() as u32);
+        self.register_name(name, Object::Node(id))?;
+        self.nodes.push(IntervalObjectData {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            existence: IntervalSet::empty(),
+            props: BTreeMap::new(),
+        });
+        Ok(id)
+    }
+
+    /// Adds an edge with the given display name, label and endpoints.
+    pub fn add_edge(&mut self, name: &str, label: &str, src: NodeId, tgt: NodeId) -> Result<EdgeId> {
+        if src.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(src));
+        }
+        if tgt.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(tgt));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.register_name(name, Object::Edge(id))?;
+        self.edges.push(IntervalObjectData {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            existence: IntervalSet::empty(),
+            props: BTreeMap::new(),
+        });
+        self.endpoints.push((src, tgt));
+        Ok(id)
+    }
+
+    fn data_mut(&mut self, object: Object) -> Result<&mut IntervalObjectData> {
+        match object {
+            Object::Node(n) => self.nodes.get_mut(n.index()).ok_or(GraphError::UnknownNode(n)),
+            Object::Edge(e) => self.edges.get_mut(e.index()).ok_or(GraphError::UnknownEdge(e)),
+        }
+    }
+
+    /// Declares that the object exists during `interval` (in addition to any
+    /// previously declared intervals; the existence set stays coalesced).
+    pub fn add_existence(&mut self, object: impl Into<Object>, interval: Interval) -> Result<()> {
+        self.note_interval(interval);
+        self.data_mut(object.into())?.existence.insert(interval);
+        Ok(())
+    }
+
+    /// Assigns `value` to property `prop` of the object during `interval`.
+    pub fn set_property(
+        &mut self,
+        object: impl Into<Object>,
+        prop: &str,
+        value: impl Into<Value>,
+        interval: Interval,
+    ) -> Result<()> {
+        self.note_interval(interval);
+        let data = self.data_mut(object.into())?;
+        data.props.entry(prop.to_owned()).or_default().assign(value.into(), interval);
+        Ok(())
+    }
+
+    /// Finishes building, validates the graph and returns it.
+    pub fn build(self) -> Result<Itpg> {
+        let domain = match self.domain {
+            Some(d) => d,
+            None => match (self.min_time, self.max_time) {
+                (Some(a), Some(b)) => Interval::of(a, b),
+                _ => return Err(GraphError::EmptyDomain),
+            },
+        };
+        let mut out_edges = vec![Vec::new(); self.nodes.len()];
+        let mut in_edges = vec![Vec::new(); self.nodes.len()];
+        for (idx, &(src, tgt)) in self.endpoints.iter().enumerate() {
+            out_edges[src.index()].push(EdgeId(idx as u32));
+            in_edges[tgt.index()].push(EdgeId(idx as u32));
+        }
+        let graph = Itpg {
+            domain,
+            nodes: self.nodes,
+            edges: self.edges,
+            endpoints: self.endpoints,
+            out_edges,
+            in_edges,
+            names: self.names,
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Time, b: Time) -> Interval {
+        Interval::of(a, b)
+    }
+
+    fn small_graph() -> Itpg {
+        let mut b = ItpgBuilder::new();
+        let n2 = b.add_node("n2", "Person").unwrap();
+        let n3 = b.add_node("n3", "Person").unwrap();
+        let e2 = b.add_edge("e2", "meets", n2, n3).unwrap();
+        b.add_existence(n2, iv(1, 9)).unwrap();
+        b.add_existence(n3, iv(1, 7)).unwrap();
+        b.add_existence(e2, iv(1, 2)).unwrap();
+        b.set_property(n2, "risk", "low", iv(1, 4)).unwrap();
+        b.set_property(n2, "risk", "high", iv(5, 9)).unwrap();
+        b.set_property(n2, "name", "Bob", iv(1, 9)).unwrap();
+        b.domain(iv(1, 11)).build().unwrap()
+    }
+
+    #[test]
+    fn running_example_fragment() {
+        // Mirrors the ITPG fragment spelled out in Appendix A for Figure 1.
+        let g = small_graph();
+        let n2 = Object::Node(g.node_by_name("n2").unwrap());
+        let n3 = Object::Node(g.node_by_name("n3").unwrap());
+        let e2 = Object::Edge(g.edge_by_name("e2").unwrap());
+        assert_eq!(g.domain(), iv(1, 11));
+        assert_eq!(g.existence(n2).intervals(), &[iv(1, 9)]);
+        assert_eq!(g.existence(n3).intervals(), &[iv(1, 7)]);
+        assert_eq!(g.existence(e2).intervals(), &[iv(1, 2)]);
+        assert!(g.existence(e2).contained_in(g.existence(n2)));
+        assert!(g.existence(e2).contained_in(g.existence(n3)));
+        let risk = g.property(n2, "risk").unwrap();
+        assert_eq!(
+            risk.entries(),
+            &[(Value::str("low"), iv(1, 4)), (Value::str("high"), iv(5, 9))]
+        );
+        assert_eq!(g.prop_value_at(n2, "risk", 4), Some(&Value::str("low")));
+        assert_eq!(g.prop_value_at(n2, "risk", 5), Some(&Value::str("high")));
+        assert_eq!(g.prop_value_at(n2, "risk", 10), None);
+    }
+
+    #[test]
+    fn temporal_counts() {
+        let g = small_graph();
+        // n2 changes risk at time 5 → two segments; n3 has one; e2 has one.
+        assert_eq!(g.num_temporal_nodes(), 3);
+        assert_eq!(g.num_temporal_edges(), 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn adjacency_and_names() {
+        let g = small_graph();
+        let n2 = g.node_by_name("n2").unwrap();
+        let n3 = g.node_by_name("n3").unwrap();
+        let e2 = g.edge_by_name("e2").unwrap();
+        assert_eq!(g.src(e2), n2);
+        assert_eq!(g.tgt(e2), n3);
+        assert_eq!(g.out_edges(n2), &[e2]);
+        assert_eq!(g.in_edges(n3), &[e2]);
+        assert_eq!(g.name(Object::Edge(e2)), "e2");
+        assert_eq!(g.label(Object::Edge(e2)), "meets");
+    }
+
+    #[test]
+    fn edge_outside_endpoint_existence_is_rejected() {
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        let c = b.add_node("c", "Person").unwrap();
+        let e = b.add_edge("e", "meets", a, c).unwrap();
+        b.add_existence(a, iv(1, 3)).unwrap();
+        b.add_existence(c, iv(1, 5)).unwrap();
+        b.add_existence(e, iv(2, 5)).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::DanglingEdge { .. })));
+    }
+
+    #[test]
+    fn property_outside_existence_is_rejected() {
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        b.add_existence(a, iv(1, 3)).unwrap();
+        b.set_property(a, "risk", "low", iv(2, 6)).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::PropertyWithoutExistence { .. })));
+    }
+
+    #[test]
+    fn existence_outside_domain_is_rejected() {
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        b.add_existence(a, iv(1, 20)).unwrap();
+        let err = b.domain(iv(1, 10)).build().unwrap_err();
+        assert!(matches!(err, GraphError::OutsideDomain { .. }));
+    }
+}

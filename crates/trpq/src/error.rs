@@ -1,0 +1,47 @@
+//! Errors produced while parsing and evaluating temporal regular path queries.
+
+use std::fmt;
+
+/// Errors produced by the TRPQ parsers and evaluators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Byte offset into the query text at which the problem was detected.
+        position: usize,
+    },
+    /// The expression does not belong to the fragment an evaluator supports.
+    UnsupportedFragment {
+        /// Rendering of the offending expression.
+        expression: String,
+        /// Why the expression is outside the fragment.
+        reason: String,
+    },
+    /// A variable was used in a way the binding-table machinery cannot support,
+    /// e.g. bound twice in one pattern.
+    InvalidVariable(String),
+    /// The query references a graph name that was not provided to the executor.
+    UnknownGraph(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::UnsupportedFragment { expression, reason } => {
+                write!(f, "expression '{expression}' is outside the supported fragment: {reason}")
+            }
+            QueryError::InvalidVariable(v) => write!(f, "invalid use of variable '{v}'"),
+            QueryError::UnknownGraph(g) => write!(f, "unknown graph '{g}'"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,277 @@
+//! Membership checking for `NavL[ANOI]` over interval-timestamped graphs
+//! (Algorithms 6–7, TUPLE-EVAL-SOLVE-ANOI).
+//!
+//! `NavL[ANOI]` allows numerical occurrence indicators only on axes and forbids path
+//! conditions; its evaluation problem over ITPGs is NP-complete (Theorem D.1).  The
+//! paper's algorithm is nondeterministic — it guesses the intermediate temporal object
+//! of each concatenation — so this implementation determinises it: concatenations
+//! enumerate the candidate intermediate objects (with memoization), temporal axes with
+//! occurrence indicators become arithmetic on time points, and structural axes with
+//! occurrence indicators become bounded step-counted reachability over the node–edge
+//! incidence graph.
+
+use std::collections::{HashMap, HashSet};
+
+use tgraph::{Itpg, Object, TemporalObject};
+
+use crate::ast::{Axis, Path};
+use crate::error::{QueryError, Result};
+use crate::eval::itpg_full::axis_step;
+use crate::eval::itpg_pc::check_basic_test;
+
+/// Decides `(src, dst) ∈ ⟦path⟧_I` for an expression of the fragment `NavL[ANOI]`.
+///
+/// Returns [`QueryError::UnsupportedFragment`] if the expression contains a path
+/// condition or an occurrence indicator applied to anything other than an axis.
+pub fn eval_contains_anoi(
+    path: &Path,
+    graph: &Itpg,
+    src: TemporalObject,
+    dst: TemporalObject,
+) -> Result<bool> {
+    if path.has_path_condition() {
+        return Err(QueryError::UnsupportedFragment {
+            expression: path.to_string(),
+            reason: "NavL[ANOI] does not allow path conditions".to_owned(),
+        });
+    }
+    if !path.occurrence_indicators_only_on_axes() {
+        return Err(QueryError::UnsupportedFragment {
+            expression: path.to_string(),
+            reason: "NavL[ANOI] only allows occurrence indicators directly on axes".to_owned(),
+        });
+    }
+    let mut solver = AnoiSolver { graph, memo: HashMap::new() };
+    Ok(solver.solve(path, src, dst))
+}
+
+struct AnoiSolver<'g> {
+    graph: &'g Itpg,
+    memo: HashMap<(usize, TemporalObject, TemporalObject), bool>,
+}
+
+impl<'g> AnoiSolver<'g> {
+    fn solve(&mut self, path: &Path, src: TemporalObject, dst: TemporalObject) -> bool {
+        let key = (path as *const Path as usize, src, dst);
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+        let result = self.solve_uncached(path, src, dst);
+        self.memo.insert(key, result);
+        result
+    }
+
+    fn solve_uncached(&mut self, path: &Path, src: TemporalObject, dst: TemporalObject) -> bool {
+        let g = self.graph;
+        match path {
+            Path::Test(test) => src == dst && check_basic_test(test, g, src),
+            Path::Axis(axis) => axis_step(g, *axis, src, dst),
+            Path::Alt(a, b) => self.solve(a, src, dst) || self.solve(b, src, dst),
+            Path::Seq(a, b) => {
+                let domain = g.domain();
+                let objects: Vec<Object> = g.objects().collect();
+                for &o in &objects {
+                    for t in domain.points() {
+                        let mid = TemporalObject::new(o, t);
+                        if self.solve(a, src, mid) && self.solve(b, mid, dst) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Path::Repeat(inner, n, m) => match **inner {
+                Path::Axis(axis) => self.repeated_axis(axis, *n, *m, src, dst),
+                _ => unreachable!("occurrence indicators on non-axes were rejected up front"),
+            },
+        }
+    }
+
+    /// `axis[n, m]` (or `axis[n, _]` when `m` is `None`).
+    fn repeated_axis(&self, axis: Axis, n: u32, m: Option<u32>, src: TemporalObject, dst: TemporalObject) -> bool {
+        let g = self.graph;
+        let domain = g.domain();
+        if !domain.contains(src.time) || !domain.contains(dst.time) {
+            return false;
+        }
+        match axis {
+            // N[n, m]: same object, forward displacement within [n, m].
+            Axis::Next => {
+                src.object == dst.object
+                    && dst.time >= src.time
+                    && within_bounds(dst.time - src.time, n, m)
+            }
+            Axis::Prev => {
+                src.object == dst.object
+                    && dst.time <= src.time
+                    && within_bounds(src.time - dst.time, n, m)
+            }
+            // F[n, m] / B[n, m]: same time point, and dst is reachable from src in k
+            // steps of the (directed) node–edge incidence relation for some k ∈ [n, m].
+            Axis::Fwd | Axis::Bwd => {
+                if src.time != dst.time {
+                    return false;
+                }
+                self.structural_reachability(axis, n, m, src.object, dst.object)
+            }
+        }
+    }
+
+    /// Step-counted reachability over the incidence graph: node → outgoing edge →
+    /// target node for `F`, and node → incoming edge → source node for `B`.
+    ///
+    /// The search is capped at `n + 2·(|N| + |E|)` steps: any longer witness walk can
+    /// be shortened by removing cycles while keeping its length ≥ n (each removed
+    /// cycle has length ≤ 2·(|N|+|E|)), so the cap preserves the answer even for
+    /// unbounded indicators.
+    fn structural_reachability(&self, axis: Axis, n: u32, m: Option<u32>, src: Object, dst: Object) -> bool {
+        let g = self.graph;
+        let object_count = (g.num_nodes() + g.num_edges()) as u64;
+        let cap = (n as u64).saturating_add(2 * object_count);
+        let max_steps = match m {
+            Some(m) => (m as u64).min(cap),
+            None => cap,
+        };
+        let mut frontier: HashSet<Object> = HashSet::new();
+        frontier.insert(src);
+        let mut step = 0u64;
+        loop {
+            if step >= n as u64 && frontier.contains(&dst) {
+                return true;
+            }
+            if step == max_steps || frontier.is_empty() {
+                return false;
+            }
+            let mut next = HashSet::with_capacity(frontier.len());
+            for &o in &frontier {
+                match (axis, o) {
+                    (Axis::Fwd, Object::Node(v)) => {
+                        next.extend(g.out_edges(v).iter().map(|&e| Object::Edge(e)));
+                    }
+                    (Axis::Fwd, Object::Edge(e)) => {
+                        next.insert(Object::Node(g.tgt(e)));
+                    }
+                    (Axis::Bwd, Object::Node(v)) => {
+                        next.extend(g.in_edges(v).iter().map(|&e| Object::Edge(e)));
+                    }
+                    (Axis::Bwd, Object::Edge(e)) => {
+                        next.insert(Object::Node(g.src(e)));
+                    }
+                    _ => unreachable!("temporal axes are handled arithmetically"),
+                }
+            }
+            frontier = next;
+            step += 1;
+        }
+    }
+}
+
+fn within_bounds(delta: u64, n: u32, m: Option<u32>) -> bool {
+    delta >= n as u64 && m.map_or(true, |m| delta <= m as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TestExpr;
+    use tgraph::{Interval, ItpgBuilder, NodeId};
+
+    fn single_node(domain_end: u64) -> Itpg {
+        let mut b = ItpgBuilder::new();
+        let v = b.add_node("v", "l").unwrap();
+        b.add_existence(v, Interval::of(0, domain_end)).unwrap();
+        b.domain(Interval::of(0, domain_end)).build().unwrap()
+    }
+
+    fn at(t: u64) -> TemporalObject {
+        TemporalObject::new(Object::Node(NodeId(0)), t)
+    }
+
+    #[test]
+    fn subset_sum_reduction_expression() {
+        // Theorem D.1: (N[a1,a1] + N[0,0]) / … / (N[an,an] + N[0,0]) reaches (v, S)
+        // from (v, 0) iff some subset of A sums to S.
+        let g = single_node(20);
+        let choice = |a: u32| Path::axis(Axis::Next).repeat(a, a).or(Path::axis(Axis::Next).repeat(0, 0));
+        let r = choice(2).then(choice(5)).then(choice(9));
+        for s in 0..=20u64 {
+            let expected = matches!(s, 0 | 2 | 5 | 7 | 9 | 11 | 14 | 16);
+            assert_eq!(
+                eval_contains_anoi(&r, &g, at(0), at(s)).unwrap(),
+                expected,
+                "subset-sum target {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_indicators_are_arithmetic() {
+        let g = single_node(50);
+        let p = Path::axis(Axis::Prev).repeat(3, 10);
+        assert!(eval_contains_anoi(&p, &g, at(20), at(15)).unwrap());
+        assert!(eval_contains_anoi(&p, &g, at(20), at(10)).unwrap());
+        assert!(!eval_contains_anoi(&p, &g, at(20), at(18)).unwrap());
+        assert!(!eval_contains_anoi(&p, &g, at(20), at(9)).unwrap());
+        let unbounded = Path::axis(Axis::Next).repeat_at_least(4);
+        assert!(eval_contains_anoi(&unbounded, &g, at(1), at(50)).unwrap());
+        assert!(!eval_contains_anoi(&unbounded, &g, at(1), at(4)).unwrap());
+    }
+
+    #[test]
+    fn structural_indicators_count_hops() {
+        // A directed chain a → b → c of `follows` edges; F[2,2] goes node → edge →
+        // node, F[4,4] goes two edges further.
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        let c = b.add_node("c", "Person").unwrap();
+        let d = b.add_node("d", "Person").unwrap();
+        let e1 = b.add_edge("e1", "follows", a, c).unwrap();
+        let e2 = b.add_edge("e2", "follows", c, d).unwrap();
+        for o in [Object::Node(a), Object::Node(c), Object::Node(d), Object::Edge(e1), Object::Edge(e2)] {
+            b.add_existence(o, Interval::of(0, 3)).unwrap();
+        }
+        let g = b.domain(Interval::of(0, 3)).build().unwrap();
+        let src = TemporalObject::new(Object::Node(a), 1);
+        let two = Path::axis(Axis::Fwd).repeat(2, 2);
+        assert!(eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(c), 1)).unwrap());
+        assert!(!eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
+        let four = Path::axis(Axis::Fwd).repeat(4, 4);
+        assert!(eval_contains_anoi(&four, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
+        let star = Path::axis(Axis::Fwd).repeat_at_least(1);
+        assert!(eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
+        assert!(eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Edge(e2), 1)).unwrap());
+        // Backwards from d.
+        let back = Path::axis(Axis::Bwd).repeat(2, 4);
+        let from_d = TemporalObject::new(Object::Node(d), 2);
+        assert!(eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(c), 2)).unwrap());
+        assert!(eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(a), 2)).unwrap());
+        // Times must match for structural navigation.
+        assert!(!eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(c), 2)).unwrap());
+    }
+
+    #[test]
+    fn concatenation_with_tests() {
+        let g = single_node(10);
+        let p = Path::test(TestExpr::Exists)
+            .then(Path::axis(Axis::Next).repeat(2, 4))
+            .then(Path::test(TestExpr::TimeLt(8)));
+        assert!(eval_contains_anoi(&p, &g, at(3), at(6)).unwrap());
+        assert!(!eval_contains_anoi(&p, &g, at(3), at(9)).unwrap()); // lands at ≥ 8
+        assert!(!eval_contains_anoi(&p, &g, at(3), at(4)).unwrap()); // too few steps
+    }
+
+    #[test]
+    fn unsupported_fragments_are_rejected() {
+        let g = single_node(5);
+        let with_pc = Path::test(TestExpr::path_test(Path::axis(Axis::Next)));
+        assert!(matches!(
+            eval_contains_anoi(&with_pc, &g, at(0), at(0)),
+            Err(QueryError::UnsupportedFragment { .. })
+        ));
+        let with_general_noi = Path::axis(Axis::Next).then(Path::test(TestExpr::Exists)).repeat(0, 2);
+        assert!(matches!(
+            eval_contains_anoi(&with_general_noi, &g, at(0), at(0)),
+            Err(QueryError::UnsupportedFragment { .. })
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! Polynomial-time membership checking for `NavL[PC]` over interval-timestamped
+//! graphs (Algorithm 3, TUPLE-EVAL-SOLVE-ONLY-PC).
+//!
+//! In the absence of numerical occurrence indicators, navigation moves at most one
+//! time unit per `N`/`P` symbol, so the intermediate time points of a concatenation
+//! lie within `‖r1‖` of the start and `‖r2‖` of the end.  The algorithm recurses over
+//! the expression with a memo table keyed by `(sub-expression, source, destination)`,
+//! which keeps the total work polynomial.
+
+use std::collections::HashMap;
+
+use tgraph::{Itpg, Object, TemporalObject, Time};
+
+use crate::ast::{Axis, Path, TestExpr};
+use crate::error::QueryError;
+
+/// Decides `(src, dst) ∈ ⟦path⟧_I` for an expression of the fragment `NavL[PC]`.
+///
+/// Returns [`QueryError::UnsupportedFragment`] if the expression contains a numerical
+/// occurrence indicator.
+pub fn eval_contains_pc(
+    path: &Path,
+    graph: &Itpg,
+    src: TemporalObject,
+    dst: TemporalObject,
+) -> Result<bool, QueryError> {
+    if path.has_occurrence_indicator() {
+        return Err(QueryError::UnsupportedFragment {
+            expression: path.to_string(),
+            reason: "NavL[PC] does not allow numerical occurrence indicators".to_owned(),
+        });
+    }
+    let mut solver = PcSolver { graph, memo: HashMap::new() };
+    Ok(solver.solve(path, src, dst))
+}
+
+/// Checks `(o, t) |= test` over an ITPG for tests *without* path conditions
+/// (CHECK-TEST-NOPC in the paper).  Path conditions are rejected with an error.
+pub fn check_test_no_pc(test: &TestExpr, graph: &Itpg, to: TemporalObject) -> Result<bool, QueryError> {
+    if test.has_path_condition() {
+        return Err(QueryError::UnsupportedFragment {
+            expression: test.to_string(),
+            reason: "test contains a path condition".to_owned(),
+        });
+    }
+    Ok(check_basic_test(test, graph, to))
+}
+
+pub(crate) fn check_basic_test(test: &TestExpr, graph: &Itpg, to: TemporalObject) -> bool {
+    match test {
+        TestExpr::Node => to.object.is_node(),
+        TestExpr::Edge => to.object.is_edge(),
+        TestExpr::Label(l) => graph.label(to.object) == l,
+        TestExpr::Prop(p, v) => graph.prop_value_at(to.object, p, to.time) == Some(v),
+        TestExpr::Exists => graph.exists_at(to.object, to.time),
+        TestExpr::TimeLt(k) => to.time < *k,
+        TestExpr::And(a, b) => check_basic_test(a, graph, to) && check_basic_test(b, graph, to),
+        TestExpr::Or(a, b) => check_basic_test(a, graph, to) || check_basic_test(b, graph, to),
+        TestExpr::Not(a) => !check_basic_test(a, graph, to),
+        TestExpr::PathTest(_) => {
+            unreachable!("path conditions must be handled by the enclosing solver")
+        }
+    }
+}
+
+struct PcSolver<'g> {
+    graph: &'g Itpg,
+    /// Memo table keyed by the address of the sub-expression and the pair of temporal
+    /// objects; sub-expressions are borrowed from the caller's AST, so their addresses
+    /// are stable for the lifetime of the solver.
+    memo: HashMap<(usize, TemporalObject, TemporalObject), bool>,
+}
+
+impl<'g> PcSolver<'g> {
+    fn solve(&mut self, path: &Path, src: TemporalObject, dst: TemporalObject) -> bool {
+        let key = (path as *const Path as usize, src, dst);
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+        let result = self.solve_uncached(path, src, dst);
+        self.memo.insert(key, result);
+        result
+    }
+
+    fn solve_uncached(&mut self, path: &Path, src: TemporalObject, dst: TemporalObject) -> bool {
+        let g = self.graph;
+        match path {
+            Path::Test(test) => src == dst && self.check_test(test, src),
+            Path::Axis(Axis::Next) => src.object == dst.object && dst.time == src.time + 1 && g.domain().contains(dst.time),
+            Path::Axis(Axis::Prev) => {
+                src.object == dst.object && src.time > 0 && dst.time + 1 == src.time && g.domain().contains(dst.time)
+            }
+            Path::Axis(Axis::Fwd) => {
+                src.time == dst.time
+                    && match (src.object, dst.object) {
+                        (Object::Node(n), Object::Edge(e)) => g.src(e) == n,
+                        (Object::Edge(e), Object::Node(n)) => g.tgt(e) == n,
+                        _ => false,
+                    }
+            }
+            Path::Axis(Axis::Bwd) => {
+                src.time == dst.time
+                    && match (src.object, dst.object) {
+                        (Object::Node(n), Object::Edge(e)) => g.tgt(e) == n,
+                        (Object::Edge(e), Object::Node(n)) => g.src(e) == n,
+                        _ => false,
+                    }
+            }
+            Path::Alt(a, b) => self.solve(a, src, dst) || self.solve(b, src, dst),
+            Path::Seq(a, b) => {
+                // The intermediate time point is within the number of temporal axes of
+                // each side (finite because the fragment has no occurrence indicators).
+                let la = a.max_temporal_steps().unwrap_or(u64::MAX);
+                let lb = b.max_temporal_steps().unwrap_or(u64::MAX);
+                let domain = g.domain();
+                let lo = src.time.saturating_sub(la).max(dst.time.saturating_sub(lb)).max(domain.start());
+                let hi = src
+                    .time
+                    .saturating_add(la)
+                    .min(dst.time.saturating_add(lb))
+                    .min(domain.end());
+                if lo > hi {
+                    return false;
+                }
+                let objects: Vec<Object> = g.objects().collect();
+                for t in lo..=hi {
+                    for &o in &objects {
+                        let mid = TemporalObject::new(o, t);
+                        if self.solve(a, src, mid) && self.solve(b, mid, dst) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Path::Repeat(_, _, _) => {
+                unreachable!("occurrence indicators were rejected before solving")
+            }
+        }
+    }
+
+    fn check_test(&mut self, test: &TestExpr, to: TemporalObject) -> bool {
+        match test {
+            TestExpr::And(a, b) => self.check_test(a, to) && self.check_test(b, to),
+            TestExpr::Or(a, b) => self.check_test(a, to) || self.check_test(b, to),
+            TestExpr::Not(a) => !self.check_test(a, to),
+            TestExpr::PathTest(p) => {
+                // (?p) holds iff some temporal object is reachable from `to` through p.
+                // Without occurrence indicators the reachable times lie within ‖p‖ of
+                // the current time.
+                let span = p.max_temporal_steps().unwrap_or(u64::MAX);
+                let domain = self.graph.domain();
+                let lo = to.time.saturating_sub(span).max(domain.start());
+                let hi = to.time.saturating_add(span).min(domain.end());
+                let objects: Vec<Object> = self.graph.objects().collect();
+                for t in lo..=hi {
+                    for &o in &objects {
+                        if self.solve(p, to, TemporalObject::new(o, t)) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            basic => check_basic_test(basic, self.graph, to),
+        }
+    }
+}
+
+/// Enumerates the full relation `⟦path⟧_I` for a `NavL[PC]` expression by testing every
+/// pair of temporal objects whose times are compatible with the expression's temporal
+/// span.  Intended for validation on small graphs; the membership check
+/// [`eval_contains_pc`] is the primitive studied by the paper.
+pub fn eval_pairs_pc(
+    path: &Path,
+    graph: &Itpg,
+) -> Result<Vec<(TemporalObject, TemporalObject)>, QueryError> {
+    if path.has_occurrence_indicator() {
+        return Err(QueryError::UnsupportedFragment {
+            expression: path.to_string(),
+            reason: "NavL[PC] does not allow numerical occurrence indicators".to_owned(),
+        });
+    }
+    let mut solver = PcSolver { graph, memo: HashMap::new() };
+    let span = path.max_temporal_steps().unwrap_or(u64::MAX);
+    let domain = graph.domain();
+    let objects: Vec<Object> = graph.objects().collect();
+    let mut out = Vec::new();
+    for &o1 in &objects {
+        for t1 in domain.points() {
+            let src = TemporalObject::new(o1, t1);
+            let lo = t1.saturating_sub(span).max(domain.start());
+            let hi: Time = t1.saturating_add(span).min(domain.end());
+            for &o2 in &objects {
+                for t2 in lo..=hi {
+                    let dst = TemporalObject::new(o2, t2);
+                    if solver.solve(path, src, dst) {
+                        out.push((src, dst));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{Interval, ItpgBuilder};
+
+    fn sample() -> Itpg {
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        let c = b.add_node("c", "Person").unwrap();
+        let m = b.add_edge("m", "meets", a, c).unwrap();
+        b.add_existence(a, Interval::of(1, 6)).unwrap();
+        b.add_existence(c, Interval::of(1, 8)).unwrap();
+        b.add_existence(m, Interval::of(2, 3)).unwrap();
+        b.set_property(c, "test", "pos", Interval::of(7, 8)).unwrap();
+        b.domain(Interval::of(1, 8)).build().unwrap()
+    }
+
+    fn node(g: &Itpg, name: &str) -> Object {
+        Object::Node(g.node_by_name(name).unwrap())
+    }
+
+    fn edge(g: &Itpg, name: &str) -> Object {
+        Object::Edge(g.edge_by_name(name).unwrap())
+    }
+
+    #[test]
+    fn axes_over_itpg() {
+        let g = sample();
+        let a = node(&g, "a");
+        let c = node(&g, "c");
+        let m = edge(&g, "m");
+        let fwd = Path::axis(Axis::Fwd);
+        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(a, 2), TemporalObject::new(m, 2)).unwrap());
+        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(m, 2), TemporalObject::new(c, 2)).unwrap());
+        assert!(!eval_contains_pc(&fwd, &g, TemporalObject::new(c, 2), TemporalObject::new(m, 2)).unwrap());
+        let bwd = Path::axis(Axis::Bwd);
+        assert!(eval_contains_pc(&bwd, &g, TemporalObject::new(c, 5), TemporalObject::new(m, 5)).unwrap());
+        let next = Path::axis(Axis::Next);
+        assert!(eval_contains_pc(&next, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 4)).unwrap());
+        assert!(!eval_contains_pc(&next, &g, TemporalObject::new(a, 8), TemporalObject::new(a, 9)).unwrap());
+        let prev = Path::axis(Axis::Prev);
+        assert!(eval_contains_pc(&prev, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 2)).unwrap());
+    }
+
+    #[test]
+    fn q6_shape_prev_from_positive_test() {
+        // (Node ∧ Person ∧ test ↦ pos)/P/(Node ∧ ∃)
+        let g = sample();
+        let c = node(&g, "c");
+        let q6 = Path::test(TestExpr::Node.and(TestExpr::label("Person")).and(TestExpr::prop("test", "pos")))
+            .then(Path::axis(Axis::Prev))
+            .then(Path::test(TestExpr::Node.and(TestExpr::Exists)));
+        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 7), TemporalObject::new(c, 6)).unwrap());
+        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 8), TemporalObject::new(c, 7)).unwrap());
+        assert!(!eval_contains_pc(&q6, &g, TemporalObject::new(c, 6), TemporalObject::new(c, 5)).unwrap());
+    }
+
+    #[test]
+    fn path_conditions_are_supported() {
+        let g = sample();
+        let a = node(&g, "a");
+        let c = node(&g, "c");
+        // Objects that can reach a `meets` edge in one forward step.
+        let cond = Path::test(TestExpr::path_test(
+            Path::axis(Axis::Fwd).then(Path::test(TestExpr::label("meets").and(TestExpr::Exists))),
+        ));
+        assert!(eval_contains_pc(&cond, &g, TemporalObject::new(a, 2), TemporalObject::new(a, 2)).unwrap());
+        // At time 5 the meets edge no longer exists.
+        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(a, 5), TemporalObject::new(a, 5)).unwrap());
+        // c is the target, not the source, of the edge.
+        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(c, 2), TemporalObject::new(c, 2)).unwrap());
+    }
+
+    #[test]
+    fn occurrence_indicators_are_rejected() {
+        let g = sample();
+        let a = node(&g, "a");
+        let p = Path::axis(Axis::Next).repeat(0, 3);
+        let err = eval_contains_pc(&p, &g, TemporalObject::new(a, 1), TemporalObject::new(a, 2)).unwrap_err();
+        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+        assert!(check_test_no_pc(
+            &TestExpr::path_test(Path::axis(Axis::Next)),
+            &g,
+            TemporalObject::new(a, 1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enumeration_matches_membership() {
+        let g = sample();
+        let p = Path::test(TestExpr::label("Person").and(TestExpr::Exists))
+            .then(Path::axis(Axis::Fwd))
+            .then(Path::test(TestExpr::Exists));
+        let pairs = eval_pairs_pc(&p, &g).unwrap();
+        for (src, dst) in &pairs {
+            assert!(eval_contains_pc(&p, &g, *src, *dst).unwrap());
+        }
+        // The meets edge exists on [2,3] with source a.
+        let a = node(&g, "a");
+        let m = edge(&g, "m");
+        assert!(pairs.contains(&(TemporalObject::new(a, 2), TemporalObject::new(m, 2))));
+        assert!(pairs.contains(&(TemporalObject::new(a, 3), TemporalObject::new(m, 3))));
+        assert_eq!(pairs.len(), 2);
+    }
+}

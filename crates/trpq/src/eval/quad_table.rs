@@ -1,0 +1,362 @@
+//! Tables of temporal-object pairs — the relations `⟦path⟧_G ⊆ PTO(G)` manipulated by
+//! the polynomial-time evaluation algorithm of Theorem C.1.
+//!
+//! A [`QuadTable`] stores tuples `(o, t, o', t')` as pairs of [`TemporalObject`]s in a
+//! canonical sorted, duplicate-free form, and provides the operations the algorithm
+//! needs: union, intersection, composition (a sort-merge join on the middle temporal
+//! object), and the repetition operators of Algorithms 1 and 2 (exponentiation by
+//! squaring).
+
+use tgraph::TemporalObject;
+
+/// A pair `(source, destination)` of temporal objects, i.e. one tuple of `⟦path⟧_G`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Quad {
+    /// The starting temporal object `(o, t)`.
+    pub src: TemporalObject,
+    /// The ending temporal object `(o', t')`.
+    pub dst: TemporalObject,
+}
+
+impl Quad {
+    /// Creates a quad from its two endpoints.
+    pub fn new(src: TemporalObject, dst: TemporalObject) -> Self {
+        Quad { src, dst }
+    }
+}
+
+impl From<(TemporalObject, TemporalObject)> for Quad {
+    fn from((src, dst): (TemporalObject, TemporalObject)) -> Self {
+        Quad { src, dst }
+    }
+}
+
+/// A set of quads in canonical (sorted, deduplicated) form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuadTable {
+    quads: Vec<Quad>,
+}
+
+impl QuadTable {
+    /// The empty table.
+    pub fn empty() -> Self {
+        QuadTable { quads: Vec::new() }
+    }
+
+    /// Builds a table from arbitrary quads, sorting and deduplicating them.
+    pub fn from_quads<I: IntoIterator<Item = Quad>>(quads: I) -> Self {
+        let mut v: Vec<Quad> = quads.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        QuadTable { quads: v }
+    }
+
+    /// The identity relation `{(o, t, o, t)}` over the given temporal objects
+    /// (the evaluation of a test over the objects satisfying it).
+    pub fn identity_over<I: IntoIterator<Item = TemporalObject>>(objects: I) -> Self {
+        QuadTable::from_quads(objects.into_iter().map(|o| Quad::new(o, o)))
+    }
+
+    /// The number of quads.
+    pub fn len(&self) -> usize {
+        self.quads.len()
+    }
+
+    /// True if the table holds no quad.
+    pub fn is_empty(&self) -> bool {
+        self.quads.is_empty()
+    }
+
+    /// The quads in canonical order.
+    pub fn quads(&self) -> &[Quad] {
+        &self.quads
+    }
+
+    /// Iterates over the quads.
+    pub fn iter(&self) -> impl Iterator<Item = &Quad> + '_ {
+        self.quads.iter()
+    }
+
+    /// True if the table contains the quad (binary search over the canonical order).
+    pub fn contains(&self, quad: &Quad) -> bool {
+        self.quads.binary_search(quad).is_ok()
+    }
+
+    /// The distinct source temporal objects; used to evaluate path conditions
+    /// `(?path)`, which hold at `(o, t)` iff some quad starts there.
+    pub fn sources(&self) -> Vec<TemporalObject> {
+        let mut v: Vec<TemporalObject> = self.quads.iter().map(|q| q.src).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The distinct destination temporal objects.
+    pub fn destinations(&self) -> Vec<TemporalObject> {
+        let mut v: Vec<TemporalObject> = self.quads.iter().map(|q| q.dst).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Set union of two tables.
+    pub fn union(&self, other: &QuadTable) -> QuadTable {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.quads.len() && j < other.quads.len() {
+            match self.quads[i].cmp(&other.quads[j]) {
+                std::cmp::Ordering::Less => {
+                    v.push(self.quads[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    v.push(other.quads[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    v.push(self.quads[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        v.extend_from_slice(&self.quads[i..]);
+        v.extend_from_slice(&other.quads[j..]);
+        QuadTable { quads: v }
+    }
+
+    /// Set intersection of two tables.
+    pub fn intersection(&self, other: &QuadTable) -> QuadTable {
+        let mut v = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.quads.len() && j < other.quads.len() {
+            match self.quads[i].cmp(&other.quads[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    v.push(self.quads[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        QuadTable { quads: v }
+    }
+
+    /// Relational composition `self ∘ other`: the semantics of concatenation
+    /// `(path1 / path2)`.  Implemented as a sort-merge join on the middle temporal
+    /// object, as in the proof of Theorem C.1.
+    pub fn compose(&self, other: &QuadTable) -> QuadTable {
+        if self.is_empty() || other.is_empty() {
+            return QuadTable::empty();
+        }
+        // Sort the left side by its destination (the join key); the right side is
+        // already sorted by its source because the canonical order is (src, dst).
+        let mut left: Vec<Quad> = self.quads.clone();
+        left.sort_unstable_by_key(|q| (q.dst, q.src));
+
+        let right = &self.quads_of(other);
+        let mut out: Vec<Quad> = Vec::new();
+        let mut j_start = 0usize;
+        for l in &left {
+            // Advance the right cursor to the first quad whose source is >= l.dst.
+            while j_start < right.len() && right[j_start].src < l.dst {
+                j_start += 1;
+            }
+            let mut j = j_start;
+            while j < right.len() && right[j].src == l.dst {
+                out.push(Quad::new(l.src, right[j].dst));
+                j += 1;
+            }
+        }
+        QuadTable::from_quads(out)
+    }
+
+    fn quads_of<'a>(&self, other: &'a QuadTable) -> &'a [Quad] {
+        &other.quads
+    }
+
+    /// Exact repetition `self^n` (Algorithm 1, COMPUTE-REPETITION): composition of the
+    /// table with itself `n` times via exponentiation by squaring.  `self^0` is the
+    /// identity over `universe`.
+    pub fn repeat_exact(&self, n: u32, universe: &QuadTable) -> QuadTable {
+        match n {
+            0 => universe.clone(),
+            1 => self.clone(),
+            _ => {
+                let half = self.repeat_exact(n / 2, universe);
+                let squared = half.compose(&half);
+                if n % 2 == 0 {
+                    squared
+                } else {
+                    squared.compose(self)
+                }
+            }
+        }
+    }
+
+    /// Bounded repetition `self[0, n]` (Algorithm 2, COMPUTE-INTERVAL-REPETITION):
+    /// the union of `self^k` for `0 ≤ k ≤ n`, computed with O(log n) compositions by
+    /// squaring the reflexive table `identity ∪ self`.
+    pub fn repeat_up_to(&self, n: u32, universe: &QuadTable) -> QuadTable {
+        if n == 0 {
+            return universe.clone();
+        }
+        let step = universe.union(self);
+        if n == 1 {
+            return step;
+        }
+        let half = self.repeat_up_to(n / 2, universe);
+        let doubled = half.compose(&half);
+        if n % 2 == 0 {
+            doubled
+        } else {
+            doubled.compose(&step)
+        }
+    }
+
+    /// Bounded repetition `self[n, m]`, decomposed as `self[n, n] / self[0, m − n]`
+    /// exactly as in the proof of Theorem C.1.
+    pub fn repeat_range(&self, n: u32, m: u32, universe: &QuadTable) -> QuadTable {
+        assert!(n <= m, "lower repetition bound {n} exceeds upper bound {m}");
+        let exact = self.repeat_exact(n, universe);
+        if n == m {
+            exact
+        } else {
+            exact.compose(&self.repeat_up_to(m - n, universe))
+        }
+    }
+
+    /// Unbounded repetition `self[n, _]`: `self[n, n]` composed with the reflexive
+    /// transitive closure `self[0, _]`.  The closure is computed by repeated squaring
+    /// until a fixpoint is reached, which needs O(log M) compositions where `M` is the
+    /// number of temporal objects (the paper bounds the exponent by `M²`; reachability
+    /// over `M` states converges within `M` steps, so the fixpoint computation is
+    /// equivalent and faster).
+    pub fn repeat_at_least(&self, n: u32, universe: &QuadTable) -> QuadTable {
+        let mut closure = universe.union(self);
+        loop {
+            let next = closure.compose(&closure);
+            let next = next.union(&closure);
+            if next == closure {
+                break;
+            }
+            closure = next;
+        }
+        if n == 0 {
+            closure
+        } else {
+            self.repeat_exact(n, universe).compose(&closure)
+        }
+    }
+}
+
+impl FromIterator<Quad> for QuadTable {
+    fn from_iter<I: IntoIterator<Item = Quad>>(iter: I) -> Self {
+        QuadTable::from_quads(iter)
+    }
+}
+
+impl IntoIterator for QuadTable {
+    type Item = Quad;
+    type IntoIter = std::vec::IntoIter<Quad>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.quads.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{NodeId, Object};
+
+    fn to(i: u32, t: u64) -> TemporalObject {
+        TemporalObject::new(Object::Node(NodeId(i)), t)
+    }
+
+    fn q(a: (u32, u64), b: (u32, u64)) -> Quad {
+        Quad::new(to(a.0, a.1), to(b.0, b.1))
+    }
+
+    fn universe(n: u32, times: u64) -> QuadTable {
+        QuadTable::identity_over((0..n).flat_map(|i| (0..times).map(move |t| to(i, t))))
+    }
+
+    #[test]
+    fn canonical_form_dedups_and_sorts() {
+        let t = QuadTable::from_quads([q((1, 0), (2, 0)), q((0, 0), (1, 0)), q((1, 0), (2, 0))]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&q((0, 0), (1, 0))));
+        assert!(!t.contains(&q((2, 0), (0, 0))));
+        assert_eq!(t.sources(), vec![to(0, 0), to(1, 0)]);
+        assert_eq!(t.destinations(), vec![to(1, 0), to(2, 0)]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0))]);
+        let b = QuadTable::from_quads([q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).quads(), &[q((1, 0), (2, 0))]);
+        assert!(a.intersection(&QuadTable::empty()).is_empty());
+    }
+
+    #[test]
+    fn composition_joins_on_the_middle_object() {
+        // 0→1, 1→2, 2→3 composed with itself gives 0→2, 1→3.
+        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
+        let two = chain.compose(&chain);
+        assert_eq!(two.quads(), &[q((0, 0), (2, 0)), q((1, 0), (3, 0))]);
+        assert!(chain.compose(&QuadTable::empty()).is_empty());
+    }
+
+    #[test]
+    fn exact_repetition_is_n_fold_composition() {
+        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0)), q((3, 0), (4, 0))]);
+        let uni = universe(5, 1);
+        assert_eq!(chain.repeat_exact(0, &uni), uni);
+        assert_eq!(chain.repeat_exact(1, &uni), chain);
+        assert_eq!(chain.repeat_exact(3, &uni).quads(), &[q((0, 0), (3, 0)), q((1, 0), (4, 0))]);
+        assert!(chain.repeat_exact(5, &uni).is_empty());
+    }
+
+    #[test]
+    fn bounded_repetition_unions_all_lengths() {
+        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
+        let uni = universe(4, 1);
+        let up2 = chain.repeat_up_to(2, &uni);
+        // Identity + single steps + double steps.
+        assert!(up2.contains(&q((0, 0), (0, 0))));
+        assert!(up2.contains(&q((0, 0), (1, 0))));
+        assert!(up2.contains(&q((0, 0), (2, 0))));
+        assert!(!up2.contains(&q((0, 0), (3, 0))));
+        let r13 = chain.repeat_range(1, 3, &uni);
+        assert!(r13.contains(&q((0, 0), (1, 0))));
+        assert!(r13.contains(&q((0, 0), (3, 0))));
+        assert!(!r13.contains(&q((0, 0), (0, 0))));
+        let r22 = chain.repeat_range(2, 2, &uni);
+        assert_eq!(r22, chain.repeat_exact(2, &uni));
+    }
+
+    #[test]
+    fn unbounded_repetition_reaches_the_transitive_closure() {
+        let cycle = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (0, 0))]);
+        let uni = universe(3, 1);
+        let star = cycle.repeat_at_least(0, &uni);
+        // Every pair is reachable in a 3-cycle.
+        assert_eq!(star.len(), 9);
+        let plus = cycle.repeat_at_least(1, &uni);
+        assert_eq!(plus.len(), 9);
+        let from2 = cycle.repeat_at_least(2, &uni);
+        assert!(from2.contains(&q((0, 0), (2, 0))));
+        assert!(from2.contains(&q((0, 0), (0, 0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower repetition bound")]
+    fn invalid_range_panics() {
+        let t = QuadTable::empty();
+        t.repeat_range(3, 1, &QuadTable::empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Fragments of `NavL[PC,NOI]` and the complexity of their evaluation problem
+//! (Theorem V.1 and Appendices B–D of the paper).
+//!
+//! * `NavL[PC]` — path conditions allowed, no numerical occurrence indicators.
+//! * `NavL[NOI]` — numerical occurrence indicators allowed, no path conditions.
+//! * `NavL[ANOI]` — occurrence indicators only on axes, no path conditions.
+//! * `NavL[PC,ANOI]` — path conditions plus axis-only occurrence indicators.
+//! * `NavL[PC,NOI]` — the full language.
+
+use std::fmt;
+
+use crate::ast::Path;
+
+/// The smallest named fragment of `NavL[PC,NOI]` an expression belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fragment {
+    /// No path conditions and no occurrence indicators: plain regular path navigation
+    /// with tests, concatenation and union.  Contained in every other fragment.
+    Core,
+    /// `NavL[PC]`: path conditions, no occurrence indicators.
+    Pc,
+    /// `NavL[ANOI]`: occurrence indicators only on axes, no path conditions.
+    Anoi,
+    /// `NavL[NOI]`: arbitrary occurrence indicators, no path conditions.
+    Noi,
+    /// `NavL[PC,ANOI]`: path conditions plus axis-only occurrence indicators.
+    PcAnoi,
+    /// `NavL[PC,NOI]`: the full language.
+    PcNoi,
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fragment::Core => "NavL[core]",
+            Fragment::Pc => "NavL[PC]",
+            Fragment::Anoi => "NavL[ANOI]",
+            Fragment::Noi => "NavL[NOI]",
+            Fragment::PcAnoi => "NavL[PC,ANOI]",
+            Fragment::PcNoi => "NavL[PC,NOI]",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The complexity of the evaluation problem `Eval(G, L)` for a class of graphs and a
+/// fragment, as established by Theorem V.1 and Theorems D.1–D.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Complexity {
+    /// Solvable in polynomial time.
+    PolynomialTime,
+    /// NP-complete.
+    NpComplete,
+    /// Σp2-hard (and in PSPACE).
+    SigmaP2Hard,
+    /// PSPACE-complete.
+    PspaceComplete,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Complexity::PolynomialTime => "PTIME",
+            Complexity::NpComplete => "NP-complete",
+            Complexity::SigmaP2Hard => "Sigma^p_2-hard",
+            Complexity::PspaceComplete => "PSPACE-complete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a path expression into the smallest named fragment containing it.
+pub fn classify(path: &Path) -> Fragment {
+    let pc = path.has_path_condition();
+    let noi = path.has_occurrence_indicator();
+    match (pc, noi) {
+        (false, false) => Fragment::Core,
+        (true, false) => Fragment::Pc,
+        (false, true) => {
+            if path.occurrence_indicators_only_on_axes() {
+                Fragment::Anoi
+            } else {
+                Fragment::Noi
+            }
+        }
+        (true, true) => {
+            if path.occurrence_indicators_only_on_axes() {
+                Fragment::PcAnoi
+            } else {
+                Fragment::PcNoi
+            }
+        }
+    }
+}
+
+impl Fragment {
+    /// Complexity of `Eval(TPG, fragment)` — the evaluation problem over
+    /// point-timestamped graphs.  Polynomial for the entire language (Theorem V.1(1)).
+    pub fn complexity_over_tpg(self) -> Complexity {
+        Complexity::PolynomialTime
+    }
+
+    /// Complexity of `Eval(ITPG, fragment)` — the evaluation problem over
+    /// interval-timestamped graphs (Theorem V.1(2), Theorems D.1 and D.2).
+    pub fn complexity_over_itpg(self) -> Complexity {
+        match self {
+            Fragment::Core | Fragment::Pc => Complexity::PolynomialTime,
+            Fragment::Anoi => Complexity::NpComplete,
+            Fragment::Noi => Complexity::SigmaP2Hard,
+            Fragment::PcAnoi | Fragment::PcNoi => Complexity::PspaceComplete,
+        }
+    }
+
+    /// True if expressions of this fragment are also expressions of `other`.
+    pub fn is_sub_fragment_of(self, other: Fragment) -> bool {
+        use Fragment::*;
+        match (self, other) {
+            (a, b) if a == b => true,
+            (Core, _) => true,
+            (Pc, PcAnoi) | (Pc, PcNoi) => true,
+            (Anoi, Noi) | (Anoi, PcAnoi) | (Anoi, PcNoi) => true,
+            (Noi, PcNoi) => true,
+            (PcAnoi, PcNoi) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, TestExpr};
+
+    #[test]
+    fn classification_matches_structure() {
+        let core = Path::axis(Axis::Fwd).then(Path::test(TestExpr::label("meets")));
+        assert_eq!(classify(&core), Fragment::Core);
+
+        let pc = Path::test(TestExpr::path_test(Path::axis(Axis::Next)));
+        assert_eq!(classify(&pc), Fragment::Pc);
+
+        let anoi = Path::axis(Axis::Next).repeat(0, 12).then(Path::test(TestExpr::Exists));
+        assert_eq!(classify(&anoi), Fragment::Anoi);
+
+        let noi = Path::axis(Axis::Next).then(Path::test(TestExpr::Exists)).repeat(0, 12);
+        assert_eq!(classify(&noi), Fragment::Noi);
+
+        let pc_noi = Path::test(TestExpr::path_test(noi.clone()));
+        assert_eq!(classify(&pc_noi), Fragment::PcNoi);
+
+        let pc_anoi = Path::test(TestExpr::path_test(Path::axis(Axis::Prev).repeat(2, 2)));
+        assert_eq!(classify(&pc_anoi), Fragment::PcAnoi);
+    }
+
+    #[test]
+    fn complexity_table_matches_the_paper() {
+        assert_eq!(Fragment::PcNoi.complexity_over_tpg(), Complexity::PolynomialTime);
+        assert_eq!(Fragment::Pc.complexity_over_itpg(), Complexity::PolynomialTime);
+        assert_eq!(Fragment::Noi.complexity_over_itpg(), Complexity::SigmaP2Hard);
+        assert_eq!(Fragment::Anoi.complexity_over_itpg(), Complexity::NpComplete);
+        assert_eq!(Fragment::PcAnoi.complexity_over_itpg(), Complexity::PspaceComplete);
+        assert_eq!(Fragment::PcNoi.complexity_over_itpg(), Complexity::PspaceComplete);
+    }
+
+    #[test]
+    fn fragment_inclusion_is_a_partial_order() {
+        use Fragment::*;
+        for f in [Core, Pc, Anoi, Noi, PcAnoi, PcNoi] {
+            assert!(f.is_sub_fragment_of(f));
+            assert!(Core.is_sub_fragment_of(f));
+            assert!(f.is_sub_fragment_of(PcNoi));
+        }
+        assert!(Anoi.is_sub_fragment_of(Noi));
+        assert!(!Noi.is_sub_fragment_of(Anoi));
+        assert!(!Pc.is_sub_fragment_of(Noi));
+        assert!(!Noi.is_sub_fragment_of(PcAnoi));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Fragment::PcNoi.to_string(), "NavL[PC,NOI]");
+        assert_eq!(Complexity::PspaceComplete.to_string(), "PSPACE-complete");
+    }
+}

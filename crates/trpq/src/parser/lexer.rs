@@ -1,0 +1,255 @@
+//! Tokenizer for the practical query language of Section IV.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token of the practical query language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`MATCH`, `ON`, `AND`, `FWD`, variable names, …).
+    Ident(String),
+    /// A quoted string literal, e.g. `'pos'`.
+    Str(String),
+    /// An unsigned integer literal.
+    Number(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Dash,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `_`
+    Underscore,
+}
+
+/// A token together with the byte offset at which it starts, for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first character of the token in the query text.
+    pub position: usize,
+}
+
+/// Splits the query text into tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => push(&mut tokens, Token::LParen, start, &mut i),
+            ')' => push(&mut tokens, Token::RParen, start, &mut i),
+            '{' => push(&mut tokens, Token::LBrace, start, &mut i),
+            '}' => push(&mut tokens, Token::RBrace, start, &mut i),
+            '[' => push(&mut tokens, Token::LBracket, start, &mut i),
+            ']' => push(&mut tokens, Token::RBracket, start, &mut i),
+            ':' => push(&mut tokens, Token::Colon, start, &mut i),
+            ',' => push(&mut tokens, Token::Comma, start, &mut i),
+            '=' => push(&mut tokens, Token::Eq, start, &mut i),
+            '-' => push(&mut tokens, Token::Dash, start, &mut i),
+            '/' => push(&mut tokens, Token::Slash, start, &mut i),
+            '+' => push(&mut tokens, Token::Plus, start, &mut i),
+            '*' => push(&mut tokens, Token::Star, start, &mut i),
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Le, position: start });
+                    i += 2;
+                } else {
+                    push(&mut tokens, Token::Lt, start, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, position: start });
+                    i += 2;
+                } else {
+                    push(&mut tokens, Token::Gt, start, &mut i);
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Parse {
+                        message: "unterminated string literal".to_owned(),
+                        position: start,
+                    });
+                }
+                tokens.push(Spanned {
+                    token: Token::Str(input[i + 1..j].to_owned()),
+                    position: start,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let value: u64 = input[i..j].parse().map_err(|_| QueryError::Parse {
+                    message: format!("number '{}' is out of range", &input[i..j]),
+                    position: start,
+                })?;
+                tokens.push(Spanned { token: Token::Number(value), position: start });
+                i = j;
+            }
+            '_' => {
+                // A lone underscore is the "_" of open-ended occurrence indicators;
+                // an underscore starting an identifier is part of the identifier.
+                if bytes.get(i + 1).map_or(true, |&b| !(b as char).is_alphanumeric() && b != b'_') {
+                    push(&mut tokens, Token::Underscore, start, &mut i);
+                } else {
+                    let (ident, next) = read_ident(input, i);
+                    tokens.push(Spanned { token: Token::Ident(ident), position: start });
+                    i = next;
+                }
+            }
+            c if c.is_alphabetic() => {
+                let (ident, next) = read_ident(input, i);
+                tokens.push(Spanned { token: Token::Ident(ident), position: start });
+                i = next;
+            }
+            other => {
+                return Err(QueryError::Parse {
+                    message: format!("unexpected character '{other}'"),
+                    position: start,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Spanned>, token: Token, start: usize, i: &mut usize) {
+    tokens.push(Spanned { token, position: start });
+    *i += 1;
+}
+
+fn read_ident(input: &str, start: usize) -> (String, usize) {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    while j < bytes.len() {
+        let c = bytes[j] as char;
+        if c.is_alphanumeric() || c == '_' {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    (input[start..j].to_owned(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_node_pattern() {
+        let toks = kinds("(x:Person {risk = 'high'})");
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Colon,
+                Token::Ident("Person".into()),
+                Token::LBrace,
+                Token::Ident("risk".into()),
+                Token::Eq,
+                Token::Str("high".into()),
+                Token::RBrace,
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_regex_operators_and_indicators() {
+        let toks = kinds("-/FWD/:meets/FWD/NEXT[0,12]/-");
+        assert!(toks.contains(&Token::Slash));
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::Number(12)));
+        let toks = kinds("PREV[0,_]* <= >=");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("PREV".into()),
+                Token::LBracket,
+                Token::Number(0),
+                Token::Comma,
+                Token::Underscore,
+                Token::RBracket,
+                Token::Star,
+                Token::Le,
+                Token::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_identifiers_are_not_confused_with_wildcards() {
+        assert_eq!(kinds("_name"), vec![Token::Ident("_name".into())]);
+        assert_eq!(kinds("x_time"), vec![Token::Ident("x_time".into())]);
+        assert_eq!(kinds("_"), vec![Token::Underscore]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_positions() {
+        let err = tokenize("(x:Person {risk = 'high})  @").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = tokenize("abc @ def").unwrap_err();
+        match err {
+            QueryError::Parse { position, .. } => assert_eq!(position, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_and_positions() {
+        let toks = tokenize("time < '10'").unwrap();
+        assert_eq!(toks[0].token, Token::Ident("time".into()));
+        assert_eq!(toks[1].token, Token::Lt);
+        assert_eq!(toks[2].token, Token::Str("10".into()));
+        assert_eq!(toks[2].position, 7);
+        assert_eq!(kinds("42"), vec![Token::Number(42)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! The running example of the paper: the contact-tracing temporal property graph of
+//! Figure 1.
+//!
+//! The graph has five `Person` nodes, two `Room` nodes and ten edges (`meets`,
+//! `cohabits` and `visits`).  The integration tests evaluate the paper's queries
+//! Q1–Q12 over this graph and compare against the binding tables printed in
+//! Sections I and IV, so the topology below is reconstructed to reproduce those tables
+//! exactly (the figure itself does not name the direction of every edge; directions
+//! are chosen to be consistent with every published result table).
+
+use tgraph::{Interval, Itpg, ItpgBuilder};
+
+/// Builds the Figure 1 contact-tracing graph.
+pub fn figure1() -> Itpg {
+    let iv = Interval::of;
+    let mut b = ItpgBuilder::new();
+
+    // People.
+    let n1 = b.add_node("n1", "Person").unwrap(); // Ann
+    let n2 = b.add_node("n2", "Person").unwrap(); // Bob
+    let n3 = b.add_node("n3", "Person").unwrap(); // Mia
+    let n4 = b.add_node("n4", "Room").unwrap(); // CS 750
+    let n5 = b.add_node("n5", "Room").unwrap(); // MATH 1101
+    let n6 = b.add_node("n6", "Person").unwrap(); // Eve
+    let n7 = b.add_node("n7", "Person").unwrap(); // Zoe
+
+    b.add_existence(n1, iv(1, 9)).unwrap();
+    b.set_property(n1, "name", "Ann", iv(1, 9)).unwrap();
+    b.set_property(n1, "risk", "low", iv(1, 9)).unwrap();
+
+    b.add_existence(n2, iv(1, 9)).unwrap();
+    b.set_property(n2, "name", "Bob", iv(1, 9)).unwrap();
+    b.set_property(n2, "risk", "low", iv(1, 4)).unwrap();
+    b.set_property(n2, "risk", "high", iv(5, 9)).unwrap();
+
+    b.add_existence(n3, iv(1, 7)).unwrap();
+    b.set_property(n3, "name", "Mia", iv(1, 7)).unwrap();
+    b.set_property(n3, "risk", "high", iv(1, 7)).unwrap();
+
+    b.add_existence(n4, iv(3, 8)).unwrap();
+    b.set_property(n4, "num", 750i64, iv(3, 8)).unwrap();
+    b.set_property(n4, "bldg", "CS", iv(3, 8)).unwrap();
+
+    b.add_existence(n5, iv(3, 7)).unwrap();
+    b.set_property(n5, "num", 1101i64, iv(3, 7)).unwrap();
+    b.set_property(n5, "bldg", "MATH", iv(3, 7)).unwrap();
+
+    b.add_existence(n6, iv(2, 11)).unwrap();
+    b.set_property(n6, "name", "Eve", iv(2, 11)).unwrap();
+    b.set_property(n6, "risk", "low", iv(2, 11)).unwrap();
+    b.set_property(n6, "test", "pos", iv(9, 9)).unwrap();
+
+    b.add_existence(n7, iv(1, 8)).unwrap();
+    b.set_property(n7, "name", "Zoe", iv(1, 8)).unwrap();
+    b.set_property(n7, "risk", "high", iv(1, 8)).unwrap();
+
+    // Edges.  Directions follow the arrowheads of the figure where visible and are
+    // otherwise fixed by the published query answers.
+    let e1 = b.add_edge("e1", "meets", n1, n2).unwrap();
+    b.add_existence(e1, iv(3, 3)).unwrap();
+    b.add_existence(e1, iv(5, 6)).unwrap();
+    b.set_property(e1, "loc", "cafe", iv(3, 3)).unwrap();
+    b.set_property(e1, "loc", "park", iv(5, 6)).unwrap();
+
+    let e2 = b.add_edge("e2", "meets", n2, n3).unwrap();
+    b.add_existence(e2, iv(1, 2)).unwrap();
+    b.set_property(e2, "loc", "park", iv(1, 2)).unwrap();
+
+    let e3 = b.add_edge("e3", "visits", n3, n4).unwrap();
+    b.add_existence(e3, iv(6, 7)).unwrap();
+
+    let e5 = b.add_edge("e5", "cohabits", n2, n3).unwrap();
+    b.add_existence(e5, iv(3, 7)).unwrap();
+
+    let e6 = b.add_edge("e6", "visits", n6, n5).unwrap();
+    b.add_existence(e6, iv(5, 6)).unwrap();
+
+    let e7 = b.add_edge("e7", "visits", n1, n5).unwrap();
+    b.add_existence(e7, iv(5, 6)).unwrap();
+
+    let e8 = b.add_edge("e8", "visits", n6, n4).unwrap();
+    b.add_existence(e8, iv(7, 8)).unwrap();
+
+    let e9 = b.add_edge("e9", "visits", n7, n4).unwrap();
+    b.add_existence(e9, iv(6, 8)).unwrap();
+
+    let e10 = b.add_edge("e10", "meets", n7, n6).unwrap();
+    b.add_existence(e10, iv(5, 6)).unwrap();
+    b.set_property(e10, "loc", "cafe", iv(5, 6)).unwrap();
+
+    let e11 = b.add_edge("e11", "meets", n3, n6).unwrap();
+    b.add_existence(e11, iv(4, 4)).unwrap();
+    b.set_property(e11, "loc", "park", iv(4, 4)).unwrap();
+
+    b.domain(iv(1, 11)).build().expect("the Figure 1 graph is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{Object, Value};
+
+    #[test]
+    fn structure_matches_the_figure() {
+        let g = figure1();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.domain(), Interval::of(1, 11));
+        // n2 and n3 are connected by two edges, e2 and e5 (the graph is a multigraph).
+        let n2 = g.node_by_name("n2").unwrap();
+        let n3 = g.node_by_name("n3").unwrap();
+        let between: Vec<_> = g
+            .edge_ids()
+            .filter(|&e| (g.src(e) == n2 && g.tgt(e) == n3) || (g.src(e) == n3 && g.tgt(e) == n2))
+            .collect();
+        assert_eq!(between.len(), 2);
+    }
+
+    #[test]
+    fn property_histories_match_the_figure() {
+        let g = figure1();
+        let n2 = Object::Node(g.node_by_name("n2").unwrap());
+        assert_eq!(g.prop_value_at(n2, "risk", 4), Some(&Value::str("low")));
+        assert_eq!(g.prop_value_at(n2, "risk", 5), Some(&Value::str("high")));
+        let n6 = Object::Node(g.node_by_name("n6").unwrap());
+        assert_eq!(g.prop_value_at(n6, "test", 9), Some(&Value::str("pos")));
+        assert_eq!(g.prop_value_at(n6, "test", 8), None);
+        let e1 = Object::Edge(g.edge_by_name("e1").unwrap());
+        assert_eq!(g.prop_value_at(e1, "loc", 3), Some(&Value::str("cafe")));
+        assert_eq!(g.prop_value_at(e1, "loc", 5), Some(&Value::str("park")));
+        assert_eq!(g.prop_value_at(e1, "loc", 4), None);
+    }
+
+    #[test]
+    fn eve_has_three_temporal_states() {
+        // Eve's test result splits her lifetime into [2,8], [9,9] and [10,11].
+        let g = figure1();
+        assert_eq!(g.num_temporal_nodes(), 1 + 2 + 1 + 1 + 1 + 3 + 1);
+        assert_eq!(g.num_temporal_edges(), 2 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1);
+    }
+}

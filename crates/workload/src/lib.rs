@@ -1,0 +1,20 @@
+//! # workload — contact-tracing graphs for TRPQ experiments
+//!
+//! Everything needed to reproduce the data side of the paper's evaluation: the running
+//! example of Figure 1 ([`figure1::figure1`]), a synthetic trajectory generator
+//! standing in for the Ojagh et al. COVID-19 contact-tracing dataset
+//! ([`trajectory`]), the graph builder that turns trajectories into
+//! interval-timestamped temporal property graphs ([`contact_tracing`]), and the
+//! G1–G10 scale factors of Table I ([`scale`]).
+
+#![warn(missing_docs)]
+
+pub mod contact_tracing;
+pub mod figure1;
+pub mod scale;
+pub mod trajectory;
+
+pub use contact_tracing::{generate, ContactTracingConfig};
+pub use figure1::figure1;
+pub use scale::ScaleFactor;
+pub use trajectory::{PopularitySampler, Stay, TrajectoryConfig};

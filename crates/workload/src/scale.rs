@@ -1,0 +1,129 @@
+//! Scale factors mirroring the graphs G1–G10 of Table I.
+//!
+//! The paper's graphs range from 1,000 to 100,000 persons (with 100 rooms, 310 meeting
+//! locations and a 48-slot temporal domain held fixed), which is what makes the edge
+//! count grow super-linearly.  [`ScaleFactor::paper_config`] reproduces those person
+//! counts exactly; [`ScaleFactor::scaled_config`] divides them by a constant so the
+//! whole sweep stays tractable on a laptop while preserving the relative shape.
+
+use crate::contact_tracing::ContactTracingConfig;
+use crate::trajectory::TrajectoryConfig;
+
+/// One of the ten graph sizes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScaleFactor {
+    /// 1,000 persons.
+    G1,
+    /// 2,000 persons.
+    G2,
+    /// 4,000 persons.
+    G3,
+    /// 6,000 persons.
+    G4,
+    /// 8,000 persons.
+    G5,
+    /// 10,000 persons.
+    G6,
+    /// 25,000 persons.
+    G7,
+    /// 50,000 persons.
+    G8,
+    /// 75,000 persons.
+    G9,
+    /// 100,000 persons.
+    G10,
+}
+
+impl ScaleFactor {
+    /// All scale factors, smallest to largest.
+    pub const ALL: [ScaleFactor; 10] = [
+        ScaleFactor::G1,
+        ScaleFactor::G2,
+        ScaleFactor::G3,
+        ScaleFactor::G4,
+        ScaleFactor::G5,
+        ScaleFactor::G6,
+        ScaleFactor::G7,
+        ScaleFactor::G8,
+        ScaleFactor::G9,
+        ScaleFactor::G10,
+    ];
+
+    /// The name used in the paper, e.g. `"G3"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleFactor::G1 => "G1",
+            ScaleFactor::G2 => "G2",
+            ScaleFactor::G3 => "G3",
+            ScaleFactor::G4 => "G4",
+            ScaleFactor::G5 => "G5",
+            ScaleFactor::G6 => "G6",
+            ScaleFactor::G7 => "G7",
+            ScaleFactor::G8 => "G8",
+            ScaleFactor::G9 => "G9",
+            ScaleFactor::G10 => "G10",
+        }
+    }
+
+    /// The number of `Person` nodes the paper uses for this scale factor.
+    pub fn paper_persons(self) -> usize {
+        match self {
+            ScaleFactor::G1 => 1_000,
+            ScaleFactor::G2 => 2_000,
+            ScaleFactor::G3 => 4_000,
+            ScaleFactor::G4 => 6_000,
+            ScaleFactor::G5 => 8_000,
+            ScaleFactor::G6 => 10_000,
+            ScaleFactor::G7 => 25_000,
+            ScaleFactor::G8 => 50_000,
+            ScaleFactor::G9 => 75_000,
+            ScaleFactor::G10 => 100_000,
+        }
+    }
+
+    /// A generator configuration with exactly the paper's person count.
+    pub fn paper_config(self) -> ContactTracingConfig {
+        ContactTracingConfig {
+            trajectories: TrajectoryConfig { num_persons: self.paper_persons(), ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// A generator configuration with the person count divided by `divisor`
+    /// (minimum 50 persons), keeping everything else identical.
+    pub fn scaled_config(self, divisor: usize) -> ContactTracingConfig {
+        let persons = (self.paper_persons() / divisor.max(1)).max(50);
+        ContactTracingConfig {
+            trajectories: TrajectoryConfig { num_persons: persons, ..Default::default() },
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_person_counts_match_table_i() {
+        let counts: Vec<usize> = ScaleFactor::ALL.iter().map(|s| s.paper_persons()).collect();
+        assert_eq!(
+            counts,
+            vec![1_000, 2_000, 4_000, 6_000, 8_000, 10_000, 25_000, 50_000, 75_000, 100_000]
+        );
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scaled_configs_preserve_the_fixed_parameters() {
+        let cfg = ScaleFactor::G10.scaled_config(10);
+        assert_eq!(cfg.trajectories.num_persons, 10_000);
+        assert_eq!(cfg.trajectories.num_rooms, 100);
+        assert_eq!(cfg.trajectories.num_meeting_locations, 310);
+        assert_eq!(cfg.trajectories.num_time_points, 48);
+        // The floor keeps tiny scales meaningful.
+        assert_eq!(ScaleFactor::G1.scaled_config(1000).trajectories.num_persons, 50);
+        assert_eq!(ScaleFactor::G1.paper_config().trajectories.num_persons, 1_000);
+        assert_eq!(ScaleFactor::G7.name(), "G7");
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic trajectory generation.
+//!
+//! The paper builds its experimental graphs from the indoor trajectory dataset of
+//! Ojagh et al. (20 tracked individuals on the University of Calgary campus, used to
+//! simulate visits to campus locations).  That dataset is not redistributable, so this
+//! module generates trajectories with the same structure: every person performs a
+//! handful of *stays* during a 48-slot day (each slot is a 5-minute window), each stay
+//! happening either in one of the 100 most popular locations — modelled as `Room`
+//! nodes and producing `visits` edges — or in one of the remaining locations, where
+//! co-located people produce `meets` edges.  Location popularity is skewed so that a
+//! few rooms attract most of the traffic, which is what drives the super-linear growth
+//! of the `meets` relation across the G1–G10 scale factors.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tgraph::{Interval, Time};
+
+/// Where a stay happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// One of the classroom locations, materialised as a `Room` node.
+    Room(usize),
+    /// One of the other campus locations; only used to derive `meets` edges.
+    MeetingPoint(usize),
+}
+
+/// A single stay of one person at one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stay {
+    /// Index of the person.
+    pub person: usize,
+    /// Where the stay happens.
+    pub place: Place,
+    /// The time slots of the stay (inclusive).
+    pub interval: Interval,
+}
+
+/// Parameters of the trajectory generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Number of persons to simulate.
+    pub num_persons: usize,
+    /// Number of classroom locations (`Room` nodes).
+    pub num_rooms: usize,
+    /// Number of non-classroom locations (sources of `meets` edges).
+    pub num_meeting_locations: usize,
+    /// Number of time slots in the day.
+    pub num_time_points: u64,
+    /// Average number of stays per person.
+    pub mean_stays_per_person: f64,
+    /// Maximum length of one stay, in slots.
+    pub max_stay_length: u64,
+    /// Exponent of the Zipf-like skew of location popularity (0 = uniform).
+    pub popularity_skew: f64,
+    /// Fraction of stays that happen in classrooms rather than meeting locations.
+    pub room_stay_fraction: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            num_persons: 1000,
+            num_rooms: 100,
+            num_meeting_locations: 310,
+            num_time_points: 48,
+            mean_stays_per_person: 3.4,
+            max_stay_length: 4,
+            popularity_skew: 0.9,
+            room_stay_fraction: 0.55,
+        }
+    }
+}
+
+/// A sampler over `0..n` with Zipf-like weights `1 / (i + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct PopularitySampler {
+    cumulative: Vec<f64>,
+}
+
+impl PopularitySampler {
+    /// Builds a sampler over `n` items with skew exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for i in 0..n.max(1) {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        PopularitySampler { cumulative }
+    }
+
+    /// Samples an item index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("sampler is never empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+impl Distribution<usize> for PopularitySampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        PopularitySampler::sample(self, rng)
+    }
+}
+
+/// Generates the stays of every person.
+pub fn generate_stays(config: &TrajectoryConfig, rng: &mut StdRng) -> Vec<Stay> {
+    let room_sampler = PopularitySampler::new(config.num_rooms, config.popularity_skew);
+    let meeting_sampler = PopularitySampler::new(config.num_meeting_locations, config.popularity_skew);
+    let horizon = config.num_time_points.max(1);
+    let mut stays = Vec::with_capacity((config.num_persons as f64 * config.mean_stays_per_person) as usize);
+
+    for person in 0..config.num_persons {
+        // Number of stays: 1 + Poisson-ish around the configured mean.
+        let extra = (config.mean_stays_per_person - 1.0).max(0.0);
+        let n_stays = 1 + sample_counts(extra, rng);
+        let mut t: Time = rng.gen_range(0..horizon);
+        for _ in 0..n_stays {
+            if t >= horizon {
+                break;
+            }
+            let length = rng.gen_range(1..=config.max_stay_length.max(1));
+            let end = (t + length - 1).min(horizon - 1);
+            let place = if rng.gen_bool(config.room_stay_fraction) {
+                Place::Room(room_sampler.sample(rng))
+            } else {
+                Place::MeetingPoint(meeting_sampler.sample(rng))
+            };
+            stays.push(Stay { person, place, interval: Interval::of(t, end) });
+            // Gap before the next stay.
+            let gap = rng.gen_range(1..=3);
+            t = end + 1 + gap;
+        }
+    }
+    stays
+}
+
+/// Samples a small non-negative count with the given mean (geometric-style).
+fn sample_counts(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut count = 0usize;
+    while !rng.gen_bool(p) && count < 16 {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_prefers_popular_items() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = PopularitySampler::new(50, 1.0);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[40]);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn uniform_sampler_when_skew_is_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampler = PopularitySampler::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "counts {counts:?}");
+    }
+
+    #[test]
+    fn stays_respect_the_time_horizon_and_person_count() {
+        let config = TrajectoryConfig { num_persons: 200, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(42);
+        let stays = generate_stays(&config, &mut rng);
+        assert!(!stays.is_empty());
+        assert!(stays.iter().all(|s| s.interval.end() < config.num_time_points));
+        assert!(stays.iter().all(|s| s.person < 200));
+        // Every person has at least one stay.
+        let mut persons: Vec<usize> = stays.iter().map(|s| s.person).collect();
+        persons.sort_unstable();
+        persons.dedup();
+        assert_eq!(persons.len(), 200);
+        // Stays of one person never overlap.
+        let mut per_person: Vec<Vec<Interval>> = vec![Vec::new(); 200];
+        for s in &stays {
+            per_person[s.person].push(s.interval);
+        }
+        for intervals in per_person {
+            for w in intervals.windows(2) {
+                assert!(w[0].end() < w[1].start(), "overlapping stays {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let config = TrajectoryConfig { num_persons: 50, ..Default::default() };
+        let a = generate_stays(&config, &mut StdRng::seed_from_u64(5));
+        let b = generate_stays(&config, &mut StdRng::seed_from_u64(5));
+        let c = generate_stays(&config, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,70 @@
+//! Temporal journeys over a travel-scheduling graph — the expressiveness example of
+//! Section V.C, where the paper argues that T-GQL's "consecutive paths" cannot combine
+//! different transportation services while TRPQs can.
+//!
+//! Cities are nodes; flights, trains and buses are edges whose validity interval is
+//! the span of the trip.  A journey hops on a service, rides it (structurally), waits
+//! at the destination (temporally, `NEXT*`), and repeats — freely mixing services.
+//!
+//! Run with `cargo run --release --example travel_planner`.
+
+use tpath::engine::{ExecutionOptions, GraphRelations};
+use tpath::tgraph::{Interval, ItpgBuilder};
+
+fn main() {
+    // Time unit: hours of one day, 0..24.
+    let day = Interval::of(0, 23);
+    let mut b = ItpgBuilder::new().domain(day);
+
+    let tokyo = b.add_node("tokyo", "City").unwrap();
+    let osaka = b.add_node("osaka", "City").unwrap();
+    let singapore = b.add_node("singapore", "City").unwrap();
+    let sydney = b.add_node("sydney", "City").unwrap();
+    let buenos_aires = b.add_node("buenos_aires", "City").unwrap();
+    for city in [tokyo, osaka, singapore, sydney, buenos_aires] {
+        b.add_existence(city, day).unwrap();
+    }
+
+    // Services: label encodes the mode, the validity interval the departure→arrival
+    // hours, and `dep`/`arr` properties carry the schedule for display.
+    let mut service = |name: &str, label: &str, from, to, dep: u64, arr: u64| {
+        let e = b.add_edge(name, label, from, to).unwrap();
+        b.add_existence(e, Interval::of(dep, arr)).unwrap();
+        b.set_property(e, "dep", dep as i64, Interval::of(dep, arr)).unwrap();
+        b.set_property(e, "arr", arr as i64, Interval::of(dep, arr)).unwrap();
+    };
+    service("shinkansen_1", "train", tokyo, osaka, 6, 8);
+    service("flight_os_sg", "flight", osaka, singapore, 10, 16);
+    service("flight_tk_sg", "flight", tokyo, singapore, 2, 9);
+    service("flight_sg_sy", "flight", singapore, sydney, 18, 23);
+    service("bus_sg_airport", "bus", singapore, buenos_aires, 11, 12); // placeholder leg
+    service("flight_sy_ba", "flight", sydney, buenos_aires, 1, 3); // departs too early today
+
+    let graph = GraphRelations::from_itpg(&b.build().unwrap());
+    let options = ExecutionOptions::default();
+
+    // A journey from Tokyo towards Sydney mixing train + flight + flight:
+    // ride a service (FWD/FWD), wait at the stopover (NEXT*), ride the next one.
+    let query = "MATCH (a:City)-/FWD/:train/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
+                 ON travel";
+    println!("{query}\n");
+    let out = tpath::engine::execute_text(query, &graph, &options).unwrap();
+    println!("multi-modal journeys (origin at departure time, destination at arrival time):");
+    for row in out.table.render(|o| graph.object_name(o).to_owned()) {
+        println!("  {} departs {}  →  {} arrives {}", row[0], row[1], row[2], row[3]);
+    }
+
+    // The same question restricted to a single mode has no answer — there is no
+    // all-flight itinerary from Tokyo that reaches Sydney today.
+    let flights_only = "MATCH (a:City {time = '6'})-/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
+                        ON travel";
+    let out = tpath::engine::execute_text(flights_only, &graph, &options).unwrap();
+    println!("\nall-flight three-leg journeys starting at hour 6: {} results", out.stats.output_rows);
+
+    // Journeys that also move *backwards* in time ("which earlier departures would
+    // have made this connection?") are expressible too, something T-GQL's consecutive
+    // paths cannot state.
+    let backwards = "MATCH (a:City)-/FWD/:flight/FWD/PREV*/FWD/:train/FWD/-(b:City) ON travel";
+    let out = tpath::engine::execute_text(backwards, &graph, &options).unwrap();
+    println!("journeys combining a flight with an earlier train connection: {} results", out.stats.output_rows);
+}

@@ -1,0 +1,36 @@
+//! # tpath — Temporal Regular Path Queries
+//!
+//! A single-crate facade over the workspace implementing *Temporal Regular Path
+//! Queries* (Arenas, Bahamondes, Aghasadeghi, Stoyanovich — ICDE 2022):
+//!
+//! * [`tgraph`] — temporal property graphs, point-based ([`tgraph::Tpg`]) and
+//!   interval-based ([`tgraph::Itpg`]);
+//! * [`trpq`] — the `NavL[PC,NOI]` query language: AST, practical `MATCH` syntax,
+//!   fragments, complexity, and the paper's reference evaluation algorithms;
+//! * [`dataflow`] — the interval-relational operators and the chunked parallel
+//!   executor the engine is built on;
+//! * [`engine`] — the interval-based three-step query engine of Section VI;
+//! * [`workload`] — the Figure 1 running example and the synthetic contact-tracing
+//!   graphs of the experimental evaluation.
+//!
+//! ```
+//! use tpath::engine::{ExecutionOptions, GraphRelations};
+//! use tpath::workload::figure1;
+//!
+//! // Who is at risk? High-risk people who met someone who later tested positive.
+//! let graph = GraphRelations::from_itpg(&figure1());
+//! let out = tpath::engine::execute_text(
+//!     "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) \
+//!      ON contact_tracing",
+//!     &graph,
+//!     &ExecutionOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(out.stats.output_rows, 3);
+//! ```
+
+pub use dataflow;
+pub use engine;
+pub use tgraph;
+pub use trpq;
+pub use workload;

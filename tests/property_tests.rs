@@ -1,0 +1,243 @@
+//! Property-based tests of the core invariants:
+//!
+//! * interval sets behave like sets of time points and stay coalesced;
+//! * the point-based and interval-based graph representations are interchangeable;
+//! * the fragment-specific ITPG evaluators agree with the polynomial-time TPG
+//!   evaluator of Theorem C.1 on randomly generated graphs and expressions.
+
+use proptest::prelude::*;
+
+use tgraph::{Interval, IntervalSet, Itpg, ItpgBuilder, TemporalObject, Time};
+use trpq::ast::{Axis, Path, TestExpr};
+use trpq::eval::itpg_anoi::eval_contains_anoi;
+use trpq::eval::itpg_full::eval_contains_full;
+use trpq::eval::itpg_pc::eval_contains_pc;
+use trpq::eval::quad_table::Quad;
+use trpq::eval::tpg::eval_path;
+
+const MAX_TIME: Time = 7;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0..=MAX_TIME, 0..=3u64).prop_map(|(start, len)| Interval::of(start, (start + len).min(MAX_TIME)))
+}
+
+prop_compose! {
+    fn intervals_strategy()(intervals in prop::collection::vec(interval_strategy(), 0..6)) -> Vec<Interval> {
+        intervals
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_sets_behave_like_point_sets(a in intervals_strategy(), b in intervals_strategy()) {
+        let set_a = IntervalSet::from_intervals(a.clone());
+        let set_b = IntervalSet::from_intervals(b.clone());
+        prop_assert!(set_a.is_coalesced());
+        prop_assert!(set_b.is_coalesced());
+        let union = set_a.union(&set_b);
+        let intersection = set_a.intersection(&set_b);
+        prop_assert!(union.is_coalesced());
+        prop_assert!(intersection.is_coalesced());
+        for t in 0..=MAX_TIME {
+            let in_a = a.iter().any(|iv| iv.contains(t));
+            let in_b = b.iter().any(|iv| iv.contains(t));
+            prop_assert_eq!(set_a.contains(t), in_a);
+            prop_assert_eq!(union.contains(t), in_a || in_b);
+            prop_assert_eq!(intersection.contains(t), in_a && in_b);
+        }
+        // Point counts agree with the point-set view.
+        let count = (0..=MAX_TIME).filter(|&t| a.iter().any(|iv| iv.contains(t))).count() as u64;
+        prop_assert_eq!(set_a.num_points(), count);
+        // Containment relation is consistent with point membership.
+        if set_a.contained_in(&set_b) {
+            for t in 0..=MAX_TIME {
+                if set_a.contains(t) {
+                    prop_assert!(set_b.contains(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter(mut intervals in intervals_strategy()) {
+        let bulk = IntervalSet::from_intervals(intervals.clone());
+        let mut incremental = IntervalSet::empty();
+        intervals.reverse();
+        for iv in intervals {
+            incremental.insert(iv);
+        }
+        prop_assert_eq!(bulk, incremental);
+    }
+}
+
+/// A compact description of a random temporal graph, turned into an [`Itpg`] by
+/// [`build_graph`].
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    nodes: Vec<(Vec<Interval>, bool)>,          // existence intervals, high-risk flag
+    edges: Vec<(usize, usize, Interval, u8)>,   // src, tgt, desired interval, label choice
+}
+
+fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
+    let nodes = prop::collection::vec(
+        (prop::collection::vec(interval_strategy(), 1..3), any::<bool>()),
+        2..5,
+    );
+    let edges = prop::collection::vec(
+        (0..4usize, 0..4usize, interval_strategy(), 0..2u8),
+        0..5,
+    );
+    (nodes, edges).prop_map(|(nodes, edges)| GraphSpec { nodes, edges })
+}
+
+fn build_graph(spec: &GraphSpec) -> Itpg {
+    let mut b = ItpgBuilder::new().domain(Interval::of(0, MAX_TIME));
+    let mut node_ids = Vec::new();
+    for (i, (intervals, high)) in spec.nodes.iter().enumerate() {
+        let label = if i % 2 == 0 { "Person" } else { "Room" };
+        let id = b.add_node(&format!("n{i}"), label).unwrap();
+        let mut existence = IntervalSet::empty();
+        for iv in intervals {
+            b.add_existence(id, *iv).unwrap();
+            existence.insert(*iv);
+        }
+        let risk = if *high { "high" } else { "low" };
+        for iv in existence.intervals() {
+            b.set_property(id, "risk", risk, *iv).unwrap();
+        }
+        node_ids.push((id, existence));
+    }
+    let mut edge_count = 0usize;
+    for (src, tgt, desired, label_choice) in &spec.edges {
+        let (src_id, src_exist) = &node_ids[src % node_ids.len()];
+        let (tgt_id, tgt_exist) = &node_ids[tgt % node_ids.len()];
+        let joint = src_exist.intersection(tgt_exist);
+        let clamped = joint.clamp(desired);
+        if clamped.is_empty() {
+            continue;
+        }
+        let label = if *label_choice == 0 { "meets" } else { "visits" };
+        let id = b.add_edge(&format!("e{edge_count}"), label, *src_id, *tgt_id).unwrap();
+        edge_count += 1;
+        for iv in clamped.intervals() {
+            b.add_existence(id, *iv).unwrap();
+        }
+    }
+    b.build().expect("generated graphs are well formed by construction")
+}
+
+/// Random expressions of `NavL[PC]` (no occurrence indicators).
+fn pc_path_strategy() -> impl Strategy<Value = Path> {
+    let leaf = prop_oneof![
+        Just(Path::axis(Axis::Fwd)),
+        Just(Path::axis(Axis::Bwd)),
+        Just(Path::axis(Axis::Next)),
+        Just(Path::axis(Axis::Prev)),
+        Just(Path::test(TestExpr::Node)),
+        Just(Path::test(TestExpr::Edge)),
+        Just(Path::test(TestExpr::Exists)),
+        Just(Path::test(TestExpr::label("Person"))),
+        Just(Path::test(TestExpr::label("meets"))),
+        Just(Path::test(TestExpr::prop("risk", "high"))),
+        (0..=MAX_TIME).prop_map(|k| Path::test(TestExpr::TimeLt(k))),
+        Just(Path::test(TestExpr::Exists.not())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|p| Path::test(TestExpr::path_test(p))),
+        ]
+    })
+}
+
+/// Random expressions of `NavL[ANOI]` (indicators only on axes, no path conditions).
+fn anoi_path_strategy() -> impl Strategy<Value = Path> {
+    let axis = prop_oneof![
+        Just(Axis::Fwd),
+        Just(Axis::Bwd),
+        Just(Axis::Next),
+        Just(Axis::Prev)
+    ];
+    let leaf = prop_oneof![
+        (axis.clone(), 0..3u32, 0..3u32).prop_map(|(a, n, extra)| Path::axis(a).repeat(n, n + extra)),
+        axis.prop_map(Path::axis),
+        Just(Path::test(TestExpr::Exists)),
+        Just(Path::test(TestExpr::label("Person"))),
+        Just(Path::test(TestExpr::prop("risk", "low"))),
+        Just(Path::axis(Axis::Next).repeat_at_least(1)),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.then(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+fn sample_temporal_objects(graph: &Itpg) -> Vec<TemporalObject> {
+    let mut out = Vec::new();
+    for o in graph.objects() {
+        for t in [0u64, 2, 5, MAX_TIME] {
+            out.push(TemporalObject::new(o, t));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn point_and_interval_representations_are_interchangeable(spec in graph_spec_strategy()) {
+        let itpg = build_graph(&spec);
+        let tpg = itpg.to_tpg();
+        prop_assert!(tgraph::convert::equivalent(&tpg, &itpg));
+        prop_assert_eq!(tpg.to_itpg(), itpg.clone());
+        // Snapshots agree at every time point.
+        for t in 0..=MAX_TIME {
+            prop_assert_eq!(itpg.snapshot(t), tpg.snapshot(t));
+        }
+    }
+
+    #[test]
+    fn pc_evaluators_agree_with_the_tpg_reference(
+        spec in graph_spec_strategy(),
+        path in pc_path_strategy(),
+    ) {
+        let itpg = build_graph(&spec);
+        let tpg = itpg.to_tpg();
+        let reference = eval_path(&path, &tpg);
+        let samples = sample_temporal_objects(&itpg);
+        for (i, &src) in samples.iter().enumerate() {
+            // Keep the quadratic sampling small.
+            for &dst in samples.iter().skip(i % 3).step_by(3) {
+                let expected = reference.contains(&Quad::new(src, dst));
+                let via_pc = eval_contains_pc(&path, &itpg, src, dst).unwrap();
+                prop_assert_eq!(via_pc, expected, "PC evaluator disagrees on {:?} -> {:?}", src, dst);
+                let via_full = eval_contains_full(&path, &itpg, src, dst);
+                prop_assert_eq!(via_full, expected, "full evaluator disagrees on {:?} -> {:?}", src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn anoi_evaluator_agrees_with_the_tpg_reference(
+        spec in graph_spec_strategy(),
+        path in anoi_path_strategy(),
+    ) {
+        let itpg = build_graph(&spec);
+        let tpg = itpg.to_tpg();
+        let reference = eval_path(&path, &tpg);
+        let samples = sample_temporal_objects(&itpg);
+        for (i, &src) in samples.iter().enumerate() {
+            for &dst in samples.iter().skip(i % 4).step_by(4) {
+                let expected = reference.contains(&Quad::new(src, dst));
+                let via_anoi = eval_contains_anoi(&path, &itpg, src, dst).unwrap();
+                prop_assert_eq!(via_anoi, expected, "ANOI evaluator disagrees on {:?} -> {:?}", src, dst);
+            }
+        }
+    }
+}
