@@ -16,7 +16,10 @@ fn bench_evaluators(c: &mut Criterion) {
     let options = ExecutionOptions::sequential();
 
     let mut group = c.benchmark_group("figure1_engine_vs_reference");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for id in [QueryId::Q6, QueryId::Q9, QueryId::Q12] {
         let rewritten = rewrite_match(&id.clause()).unwrap();
         group.bench_function(format!("engine/{}", id.name()), |b| {
@@ -36,10 +39,15 @@ fn bench_evaluators(c: &mut Criterion) {
     let synthetic_tpg = synthetic.to_tpg();
     let synthetic_relations = GraphRelations::from_itpg(&synthetic);
     let mut group = c.benchmark_group("synthetic_60_persons");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     let rewritten = rewrite_match(&QueryId::Q9.clause()).unwrap();
     group.bench_function("engine/Q9", |b| {
-        b.iter(|| engine::execute_query(QueryId::Q9, &synthetic_relations, &options).stats.output_rows)
+        b.iter(|| {
+            engine::execute_query(QueryId::Q9, &synthetic_relations, &options).stats.output_rows
+        })
     });
     group.bench_function("reference_tpg/Q9", |b| {
         b.iter(|| trpq::eval::tpg::eval_path(&rewritten.path, &synthetic_tpg).len())

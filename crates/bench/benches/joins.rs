@@ -20,7 +20,10 @@ fn rows(n: usize, keys: u32, seed: u64) -> Vec<Row> {
     (0..n)
         .map(|_| {
             let start = rng.gen_range(0..44u64);
-            Row { key: rng.gen_range(0..keys), interval: Interval::of(start, start + rng.gen_range(0..4)) }
+            Row {
+                key: rng.gen_range(0..keys),
+                interval: Interval::of(start, start + rng.gen_range(0..4u64)),
+            }
         })
         .collect()
 }
@@ -42,10 +45,14 @@ fn bench_joins(c: &mut Criterion) {
     let right = rows(4_000, 500, 2);
 
     let mut group = c.benchmark_group("joins_4k_x_4k");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     group.bench_function("interval_hash_join", |b| {
         b.iter(|| {
-            interval_hash_join(&left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval).len()
+            interval_hash_join(&left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval)
+                .len()
         })
     });
     group.bench_function("nested_loop", |b| b.iter(|| nested_loop(&left, &right)));
@@ -53,7 +60,10 @@ fn bench_joins(c: &mut Criterion) {
 
     let items: Vec<u64> = (0..200_000).collect();
     let mut group = c.benchmark_group("parallel_executor_200k_items");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for threads in [1usize, 4, 8] {
         group.bench_function(format!("{threads}_threads"), |b| {
             b.iter(|| {

@@ -14,7 +14,10 @@ fn bench_queries(c: &mut Criterion) {
     let options = ExecutionOptions::default();
 
     let mut group = c.benchmark_group("queries_600_persons");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for id in QueryId::ALL {
         group.bench_function(id.name(), |b| {
             b.iter(|| engine::execute_query(id, &graph, &options).stats.output_rows)

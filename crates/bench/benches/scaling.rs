@@ -11,7 +11,10 @@ use workload::ContactTracingConfig;
 fn bench_scaling(c: &mut Criterion) {
     let options = ExecutionOptions::default();
     let mut group = c.benchmark_group("graph_size_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     for persons in [200usize, 400, 800] {
         let config = ContactTracingConfig::with_persons(persons).with_positivity_rate(0.05);
         let graph = GraphRelations::from_itpg(&workload::generate(&config));

@@ -9,7 +9,15 @@ use workload::ScaleFactor;
 fn main() {
     bench::print_preamble("Figure 5: effect of positivity rate on G10");
     let options = bench::execution_options();
-    let queries = [QueryId::Q6, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q10, QueryId::Q11, QueryId::Q12];
+    let queries = [
+        QueryId::Q6,
+        QueryId::Q7,
+        QueryId::Q8,
+        QueryId::Q9,
+        QueryId::Q10,
+        QueryId::Q11,
+        QueryId::Q12,
+    ];
     print!("{:<12}", "positivity");
     for id in queries {
         print!(" {:>9}", id.name());

@@ -9,9 +9,19 @@ use workload::ScaleFactor;
 fn main() {
     bench::print_preamble("Figure 7: relative output size and execution time vs G1");
     let options = bench::execution_options();
-    let scales = [ScaleFactor::G1, ScaleFactor::G2, ScaleFactor::G3, ScaleFactor::G4, ScaleFactor::G5, ScaleFactor::G6];
+    let scales = [
+        ScaleFactor::G1,
+        ScaleFactor::G2,
+        ScaleFactor::G3,
+        ScaleFactor::G4,
+        ScaleFactor::G5,
+        ScaleFactor::G6,
+    ];
     let mut baseline: Vec<(f64, f64)> = Vec::new();
-    println!("{:<6} {:<6} {:>14} {:>14} {:>12} {:>12}", "graph", "query", "output", "output xG1", "time (s)", "time xG1");
+    println!(
+        "{:<6} {:<6} {:>14} {:>14} {:>12} {:>12}",
+        "graph", "query", "output", "output xG1", "time (s)", "time xG1"
+    );
     for (i, scale) in scales.iter().enumerate() {
         let (graph, _) = bench::build_graph(*scale);
         for (q, id) in QueryId::ALL.iter().enumerate() {

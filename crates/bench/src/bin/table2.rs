@@ -13,7 +13,10 @@ fn main() {
         "# G10: {} nodes, {} edges, {} temporal nodes, {} temporal edges",
         report.nodes, report.edges, report.temporal_nodes, report.temporal_edges
     );
-    println!("{:<6} {:>22} {:>16} {:>14}", "query", "interval-based time (s)", "total time (s)", "output size");
+    println!(
+        "{:<6} {:>22} {:>16} {:>14}",
+        "query", "interval-based time (s)", "total time (s)", "output size"
+    );
     let options = bench::execution_options();
     for id in QueryId::ALL {
         let m = bench::measure(id, &graph, &options);

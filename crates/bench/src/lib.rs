@@ -94,7 +94,11 @@ pub struct QueryMeasurement {
 }
 
 /// Runs one query and records its measurements.
-pub fn measure(id: QueryId, graph: &GraphRelations, options: &ExecutionOptions) -> QueryMeasurement {
+pub fn measure(
+    id: QueryId,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> QueryMeasurement {
     let out = engine::execute_query(id, graph, options);
     QueryMeasurement {
         query: id,

@@ -54,17 +54,14 @@ mod tests {
         let coalesced = coalesce(rows);
         assert_eq!(
             coalesced,
-            vec![
-                ("a", Interval::of(1, 6)),
-                ("a", Interval::of(9, 9)),
-                ("b", Interval::of(2, 7)),
-            ]
+            vec![("a", Interval::of(1, 6)), ("a", Interval::of(9, 9)), ("b", Interval::of(2, 7)),]
         );
     }
 
     #[test]
     fn point_count_deduplicates_overlaps() {
-        let rows = vec![("a", Interval::of(1, 4)), ("a", Interval::of(3, 6)), ("b", Interval::of(1, 1))];
+        let rows =
+            vec![("a", Interval::of(1, 4)), ("a", Interval::of(3, 6)), ("b", Interval::of(1, 1))];
         assert_eq!(point_count(&rows), 7);
     }
 

@@ -104,7 +104,8 @@ mod tests {
     fn interval_join_intersects_validity() {
         // Mirrors the paper's Q5 example: x meets y, and the binding is valid only
         // while both the edge and the endpoints are valid.
-        let people = vec![row(10, 1, 9, "ann"), row(20, 1, 4, "bob-low"), row(20, 5, 9, "bob-high")];
+        let people =
+            vec![row(10, 1, 9, "ann"), row(20, 1, 4, "bob-low"), row(20, 5, 9, "bob-high")];
         let meets = vec![row(20, 3, 3, "cafe"), row(20, 5, 6, "park")];
         let joined = interval_hash_join(
             &people,
@@ -118,10 +119,7 @@ mod tests {
             joined.iter().map(|(p, m, iv)| (p.payload, m.payload, *iv)).collect();
         assert_eq!(
             described,
-            vec![
-                ("bob-low", "cafe", Interval::of(3, 3)),
-                ("bob-high", "park", Interval::of(5, 6)),
-            ]
+            vec![("bob-low", "cafe", Interval::of(3, 3)), ("bob-high", "park", Interval::of(5, 6)),]
         );
     }
 
@@ -129,7 +127,14 @@ mod tests {
     fn disjoint_intervals_do_not_join() {
         let left = vec![row(1, 0, 2, "l")];
         let right = vec![row(1, 3, 5, "r")];
-        assert!(interval_hash_join(&left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval)
-            .is_empty());
+        assert!(interval_hash_join(
+            &left,
+            &right,
+            |l| l.key,
+            |r| r.key,
+            |l| l.interval,
+            |r| r.interval
+        )
+        .is_empty());
     }
 }

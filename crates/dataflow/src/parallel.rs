@@ -123,7 +123,11 @@ mod tests {
             let doubled = par_chunk_flat_map(&items, Parallelism::with_threads(threads), |chunk| {
                 chunk.iter().map(|x| x * 2).collect()
             });
-            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                doubled,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -133,11 +133,8 @@ mod tests {
     #[test]
     fn basic_operators_compose() {
         let r: Relation<u32> = (0..10).collect();
-        let result = r
-            .filter(|x| x % 2 == 0)
-            .map(|x| x * 10)
-            .flat_map(|x| vec![x, x + 1])
-            .distinct();
+        let result =
+            r.filter(|x| x % 2 == 0).map(|x| x * 10).flat_map(|x| vec![x, x + 1]).distinct();
         assert_eq!(result.rows(), &[0, 1, 20, 21, 40, 41, 60, 61, 80, 81]);
     }
 

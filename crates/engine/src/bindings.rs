@@ -117,10 +117,7 @@ impl BindingTable {
     /// The total number of point-wise bindings represented by the table: interval rows
     /// count one tuple per contained time point.
     pub fn point_tuple_count(&self) -> u64 {
-        self.rows
-            .iter()
-            .map(|row| row.first().map_or(1, |b| b.time.num_points()))
-            .sum()
+        self.rows.iter().map(|row| row.first().map_or(1, |b| b.time.num_points())).sum()
     }
 
     /// Renders every row as strings using the given object-name resolver; used by

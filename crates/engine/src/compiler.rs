@@ -78,7 +78,10 @@ fn assemble_plan(ops: Vec<PlanOp>) -> Result<EnginePlan> {
 }
 
 fn slot_of(variables: &[String], name: &str) -> usize {
-    variables.iter().position(|v| v == name).expect("variable was registered during slot assignment")
+    variables
+        .iter()
+        .position(|v| v == name)
+        .expect("variable was registered during slot assignment")
 }
 
 fn compile_part(part: &PatternPart, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
@@ -143,8 +146,12 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
         })
     };
     match (&item.atom, item.repeat) {
-        (RegexAtom::Axis(Axis::Fwd), None) => Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Forward))]]),
-        (RegexAtom::Axis(Axis::Bwd), None) => Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Backward))]]),
+        (RegexAtom::Axis(Axis::Fwd), None) => {
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Forward))]])
+        }
+        (RegexAtom::Axis(Axis::Bwd), None) => {
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Backward))]])
+        }
         (RegexAtom::Axis(Axis::Fwd | Axis::Bwd), Some(_)) => {
             unsupported("structural navigation under a repetition is outside the engine fragment")
         }
@@ -163,9 +170,9 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
             let filter = ObjFilter::from_pattern(None, None, constraints);
             Ok(vec![vec![PlanOp::Micro(MicroOp::Filter(filter))]])
         }
-        (RegexAtom::Label(_) | RegexAtom::Props(_), Some(_)) => {
-            unsupported("repeating a test is a no-op the engine does not accept; drop the indicator")
-        }
+        (RegexAtom::Label(_) | RegexAtom::Props(_), Some(_)) => unsupported(
+            "repeating a test is a no-op the engine does not accept; drop the indicator",
+        ),
         (RegexAtom::Group(inner), None) => compile_regex(inner, variables),
         (RegexAtom::Group(inner), Some(repeat)) => {
             // A repeated group is supported only when it is purely temporal (a single
@@ -219,7 +226,11 @@ fn combine_repetition(inner: Shift, (n, m): (u32, Option<u32>)) -> Option<Shift>
             if n == 0 && a > 1 {
                 return None;
             }
-            return Some(Shift { forward: inner.forward, min: u32::try_from(min).ok()?, max: None });
+            return Some(Shift {
+                forward: inner.forward,
+                min: u32::try_from(min).ok()?,
+                max: None,
+            });
         }
     };
     // Contiguity: consecutive repetition counts k and k+1 must produce overlapping or
@@ -277,9 +288,8 @@ mod tests {
 
     #[test]
     fn temporal_operators_split_segments() {
-        let plan_set = compile_text(
-            "MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) ON g",
-        );
+        let plan_set =
+            compile_text("MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) ON g");
         let plan = &plan_set.plans[0];
         assert_eq!(plan.segments.len(), 2);
         assert_eq!(plan.shifts, vec![Shift { forward: false, min: 1, max: Some(1) }]);
@@ -287,7 +297,8 @@ mod tests {
         assert!(plan.segments[1].ops.len() >= 4);
         assert_eq!(plan.segments[1].bound_slots(), vec![1]);
 
-        let star = compile_text("MATCH (x:Person {test = 'pos'})-/PREV*/FWD/:visits/FWD/-(z:Room) ON g");
+        let star =
+            compile_text("MATCH (x:Person {test = 'pos'})-/PREV*/FWD/:visits/FWD/-(z:Room) ON g");
         assert_eq!(star.plans[0].shifts, vec![Shift { forward: false, min: 0, max: None }]);
 
         let bounded = compile_text(
@@ -326,7 +337,8 @@ mod tests {
         let err = compile(&parse_match("MATCH (x)-/FWD*/-(y) ON g").unwrap()).unwrap_err();
         assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
         // Repetition of a composite group.
-        let err = compile(&parse_match("MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g").unwrap()).unwrap_err();
+        let err =
+            compile(&parse_match("MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g").unwrap()).unwrap_err();
         assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
         // Repeating a test.
         let err = compile(&parse_match("MATCH (x)-/:Room[0,2]/-(y) ON g").unwrap()).unwrap_err();

@@ -70,14 +70,15 @@ pub struct QueryOutput {
 }
 
 /// Executes a compiled plan set over a graph.
-pub fn execute(plan_set: &PlanSet, graph: &GraphRelations, options: &ExecutionOptions) -> QueryOutput {
+pub fn execute(
+    plan_set: &PlanSet,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> QueryOutput {
     let start = Instant::now();
     // Steps 1 and 2: interval-based evaluation of every union alternative.
-    let per_plan_chains: Vec<Vec<Chain>> = plan_set
-        .plans
-        .iter()
-        .map(|plan| run_plan(plan, graph, options.parallelism))
-        .collect();
+    let per_plan_chains: Vec<Vec<Chain>> =
+        plan_set.plans.iter().map(|plan| run_plan(plan, graph, options.parallelism)).collect();
     let interval_time = start.elapsed();
     let interval_rows = per_plan_chains.iter().map(Vec::len).sum();
 
@@ -113,13 +114,21 @@ pub fn execute_clause(
 }
 
 /// Parses, compiles and executes a query given in the practical surface syntax.
-pub fn execute_text(query: &str, graph: &GraphRelations, options: &ExecutionOptions) -> Result<QueryOutput> {
+pub fn execute_text(
+    query: &str,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> Result<QueryOutput> {
     let clause = trpq::parser::parse_match(query)?;
     execute_clause(&clause, graph, options)
 }
 
 /// Executes one of the paper's benchmark queries Q1–Q12.
-pub fn execute_query(id: QueryId, graph: &GraphRelations, options: &ExecutionOptions) -> QueryOutput {
+pub fn execute_query(
+    id: QueryId,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> QueryOutput {
     let plan_set = compile(&id.clause()).expect("the built-in queries compile");
     execute(&plan_set, graph, options)
 }
@@ -147,7 +156,7 @@ fn run_plan(plan: &EnginePlan, graph: &GraphRelations, parallelism: Parallelism)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tgraph::{Interval, ItpgBuilder, Itpg};
+    use tgraph::{Interval, Itpg, ItpgBuilder};
 
     fn iv(a: u64, b: u64) -> Interval {
         Interval::of(a, b)
@@ -184,8 +193,12 @@ mod tests {
     #[test]
     fn structural_query_returns_interval_bindings() {
         let g = relations();
-        let out = execute_text("MATCH (x:Person {risk = 'high'}) ON g", &g, &ExecutionOptions::sequential())
-            .unwrap();
+        let out = execute_text(
+            "MATCH (x:Person {risk = 'high'}) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
         assert_eq!(out.stats.output_rows, 1);
         assert_eq!(names(&g, &out), vec![vec!["mia".to_string(), "[1, 10]".into()]]);
         assert_eq!(out.stats.interval_rows, 1);
@@ -228,10 +241,7 @@ mod tests {
         // Mia met Eve at times 2 and 3; Eve tested positive at 8-10, reachable via NEXT*.
         assert_eq!(
             names(&g, &out),
-            vec![
-                vec!["mia".to_string(), "2".into()],
-                vec!["mia".to_string(), "3".into()],
-            ]
+            vec![vec!["mia".to_string(), "2".into()], vec!["mia".to_string(), "3".into()],]
         );
     }
 

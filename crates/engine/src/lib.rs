@@ -39,6 +39,8 @@ pub mod steps;
 
 pub use bindings::{Binding, BindingTable, TimeRef};
 pub use compiler::compile;
-pub use executor::{execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats};
+pub use executor::{
+    execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats,
+};
 pub use plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
 pub use relations::{EdgeRow, GraphRelations, NodeRow, RelationStats};

@@ -39,7 +39,8 @@ impl ObjFilter {
         label: Option<&str>,
         constraints: &[Constraint],
     ) -> Self {
-        let mut filter = ObjFilter { require_node, label: label.map(str::to_owned), ..Default::default() };
+        let mut filter =
+            ObjFilter { require_node, label: label.map(str::to_owned), ..Default::default() };
         for c in constraints {
             match c {
                 Constraint::Prop(p, v) => filter.props.push((p.clone(), v.clone())),
@@ -51,7 +52,10 @@ impl ObjFilter {
 
     /// True if the filter has no conditions at all.
     pub fn is_trivial(&self) -> bool {
-        self.require_node.is_none() && self.label.is_none() && self.props.is_empty() && self.time.is_empty()
+        self.require_node.is_none()
+            && self.label.is_none()
+            && self.props.is_empty()
+            && self.time.is_empty()
     }
 
     /// Restricts a validity interval according to the time constraints; returns `None`
@@ -91,9 +95,9 @@ impl ObjFilter {
                 return false;
             }
         }
-        self.props.iter().all(|(name, value)| {
-            props.iter().any(|(k, v)| k.as_ref() == name && v == value)
-        })
+        self.props
+            .iter()
+            .all(|(name, value)| props.iter().any(|(k, v)| k.as_ref() == name && v == value))
     }
 }
 
@@ -220,7 +224,7 @@ impl Shift {
             }
             from - to
         };
-        delta >= self.min as u64 && self.max.map_or(true, |m| delta <= m as u64)
+        delta >= self.min as u64 && self.max.is_none_or(|m| delta <= m as u64)
     }
 }
 
@@ -312,7 +316,10 @@ mod tests {
         assert_eq!(prev.arrival_from_point(10, within), Some(Interval::of(7, 9)));
         assert_eq!(prev.arrival_from_point(0, within), None);
         let prev_star = Shift { forward: false, min: 0, max: None };
-        assert_eq!(prev_star.arrival_from_point(10, Interval::of(5, 48)), Some(Interval::of(5, 10)));
+        assert_eq!(
+            prev_star.arrival_from_point(10, Interval::of(5, 48)),
+            Some(Interval::of(5, 10))
+        );
     }
 
     #[test]
@@ -357,7 +364,8 @@ mod tests {
             shifts: vec![Shift { forward: true, min: 0, max: None }],
         };
         assert!(!shifted.is_purely_structural());
-        let set = PlanSet { plans: vec![plain, shifted], variables: vec!["x".into()], graph: "g".into() };
+        let set =
+            PlanSet { plans: vec![plain, shifted], variables: vec!["x".into()], graph: "g".into() };
         assert!(!set.is_purely_structural());
     }
 }

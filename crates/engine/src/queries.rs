@@ -22,10 +22,7 @@ pub fn plan_with_temporal_bound(id: QueryId, m: u32) -> PlanSet {
 
 /// Runs every benchmark query and returns the outputs in query order.
 pub fn run_all(graph: &GraphRelations, options: &ExecutionOptions) -> Vec<(QueryId, QueryOutput)> {
-    QueryId::ALL
-        .iter()
-        .map(|&id| (id, execute(&plan_for(id), graph, options)))
-        .collect()
+    QueryId::ALL.iter().map(|&id| (id, execute(&plan_for(id), graph, options))).collect()
 }
 
 #[cfg(test)]

@@ -136,7 +136,14 @@ impl GraphRelations {
                 edge_rows_by_id[e.index()].push(row_index);
                 edge_rows_by_src[src.index()].push(row_index);
                 edge_rows_by_tgt[tgt.index()].push(row_index);
-                edges.push(EdgeRow { edge: e, src, tgt, label: label.clone(), props, interval: segment });
+                edges.push(EdgeRow {
+                    edge: e,
+                    src,
+                    tgt,
+                    label: label.clone(),
+                    props,
+                    interval: segment,
+                });
             }
         }
 

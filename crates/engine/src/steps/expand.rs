@@ -16,7 +16,12 @@ use crate::plan::{EnginePlan, Shift};
 
 /// Expands the chains produced by a plan into binding rows and appends them to the
 /// table.
-pub fn expand_chains(plan: &EnginePlan, num_slots: usize, chains: &[Chain], table: &mut BindingTable) {
+pub fn expand_chains(
+    plan: &EnginePlan,
+    num_slots: usize,
+    chains: &[Chain],
+    table: &mut BindingTable,
+) {
     for chain in chains {
         expand_chain(plan, num_slots, chain, table);
     }
@@ -40,8 +45,7 @@ fn expand_chain(plan: &EnginePlan, num_slots: usize, chain: &Chain, table: &mut 
     let intervals = chain.all_segment_intervals();
     // The last segment that actually binds an output variable; later segments only
     // need a feasibility check.
-    let last_bound_segment =
-        chain.bound.iter().map(|b| b.segment as usize).max().unwrap_or(0);
+    let last_bound_segment = chain.bound.iter().map(|b| b.segment as usize).max().unwrap_or(0);
     let mut times: Vec<Time> = Vec::with_capacity(intervals.len());
     enumerate(plan, chain, &intervals, last_bound_segment, num_slots, 0, &mut times, table);
 }
@@ -63,7 +67,12 @@ fn enumerate(
     if segment > last_bound_segment {
         // All remaining segments are unbound: check that a consistent completion
         // exists, then emit the row.
-        if feasible(plan, intervals, segment, *times.last().expect("at least one segment enumerated")) {
+        if feasible(
+            plan,
+            intervals,
+            segment,
+            *times.last().expect("at least one segment enumerated"),
+        ) {
             emit_row(chain, num_slots, times, table);
         }
         return;

@@ -25,10 +25,9 @@ pub fn apply_segment(graph: &GraphRelations, chains: Vec<Chain>, segment: &Segme
 
 fn apply_op(graph: &GraphRelations, chains: Vec<Chain>, op: &MicroOp) -> Vec<Chain> {
     match op {
-        MicroOp::Filter(filter) => chains
-            .into_iter()
-            .filter_map(|chain| apply_filter(graph, chain, filter))
-            .collect(),
+        MicroOp::Filter(filter) => {
+            chains.into_iter().filter_map(|chain| apply_filter(graph, chain, filter)).collect()
+        }
         MicroOp::Bind(slot) => chains
             .into_iter()
             .map(|mut chain| {
@@ -91,7 +90,12 @@ fn hop(graph: &GraphRelations, chain: &Chain, direction: HopDirection, out: &mut
     }
 }
 
-fn extend_with_edge_rows(graph: &GraphRelations, chain: &Chain, rows: &[u32], out: &mut Vec<Chain>) {
+fn extend_with_edge_rows(
+    graph: &GraphRelations,
+    chain: &Chain,
+    rows: &[u32],
+    out: &mut Vec<Chain>,
+) {
     for &edge_row in rows {
         let row_interval = graph.edge_rows()[edge_row as usize].interval;
         if let Some(interval) = chain.interval.intersect(&row_interval) {
@@ -103,7 +107,12 @@ fn extend_with_edge_rows(graph: &GraphRelations, chain: &Chain, rows: &[u32], ou
     }
 }
 
-fn extend_with_node_rows(graph: &GraphRelations, chain: &Chain, rows: &[u32], out: &mut Vec<Chain>) {
+fn extend_with_node_rows(
+    graph: &GraphRelations,
+    chain: &Chain,
+    rows: &[u32],
+    out: &mut Vec<Chain>,
+) {
     for &node_row in rows {
         let row_interval = graph.node_rows()[node_row as usize].interval;
         if let Some(interval) = chain.interval.intersect(&row_interval) {
@@ -166,7 +175,8 @@ mod tests {
             None,
             &[Constraint::Time(trpq::parser::CmpOp::Lt, 4)],
         );
-        let clamped = apply_segment(&g, seeds(&g), &Segment { ops: vec![MicroOp::Filter(time_filter)] });
+        let clamped =
+            apply_segment(&g, seeds(&g), &Segment { ops: vec![MicroOp::Filter(time_filter)] });
         // Every node row survives but clamped below time 4; the Room row starts at 3.
         assert_eq!(clamped.len(), 3);
         assert!(clamped.iter().all(|c| c.interval.end() <= 3));

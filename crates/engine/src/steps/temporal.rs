@@ -92,7 +92,8 @@ mod tests {
         let chain = chain_at(&g, pos_row);
         assert_eq!(chain.interval, iv(7, 8));
         // PREV*: arrival anywhere earlier within the existence interval [2,8].
-        let shifted = apply_shift(&g, vec![chain.clone()], &Shift { forward: false, min: 0, max: None });
+        let shifted =
+            apply_shift(&g, vec![chain.clone()], &Shift { forward: false, min: 0, max: None });
         let intervals: Vec<Interval> = shifted.iter().map(|c| c.interval).collect();
         assert_eq!(intervals.len(), 2); // lands on the [2,6] row and the [7,8] row
         assert!(intervals.contains(&iv(2, 6)));
@@ -110,6 +111,7 @@ mod tests {
     fn forward_shift_cannot_jump_over_an_existence_gap() {
         let g = graph();
         let chain = chain_at(&g, 0); // [2,6] state
+
         // NEXT*: can reach up to time 8, but never the [10,11] state across the gap.
         let shifted = apply_shift(&g, vec![chain], &Shift { forward: true, min: 0, max: None });
         assert!(shifted.iter().all(|c| c.interval.end() <= 8));
@@ -120,6 +122,7 @@ mod tests {
     fn minimum_step_counts_prune_departures() {
         let g = graph();
         let chain = chain_at(&g, 0); // [2,6]
+
         // NEXT[5,_]: only departures early enough can move 5 steps while existing.
         let shifted = apply_shift(&g, vec![chain], &Shift { forward: true, min: 5, max: None });
         // Arrival window is [7, 8]: reachable only from departure times 2 or 3.

@@ -103,7 +103,12 @@ impl Itpg {
                     props.insert(prop.clone(), clamped);
                 }
             }
-            IntervalObjectData { name: data.name.clone(), label: data.label.clone(), existence, props }
+            IntervalObjectData {
+                name: data.name.clone(),
+                label: data.label.clone(),
+                existence,
+                props,
+            }
         };
         Itpg {
             domain,
@@ -205,8 +210,10 @@ mod tests {
         let itpg = sample_itpg();
         let tpg = itpg.to_tpg();
         tpg.validate().unwrap();
-        assert_eq!(tpg.prop_value(crate::ids::Object::Node(crate::ids::NodeId(0)), "risk", 5).unwrap(),
-                   &crate::value::Value::str("high"));
+        assert_eq!(
+            tpg.prop_value(crate::ids::Object::Node(crate::ids::NodeId(0)), "risk", 5).unwrap(),
+            &crate::value::Value::str("high")
+        );
     }
 
     #[test]
@@ -216,8 +223,14 @@ mod tests {
         assert_eq!(restricted.domain(), iv(4, 6));
         let p = crate::ids::Object::Node(crate::ids::NodeId(0));
         assert_eq!(restricted.existence(p).intervals(), &[iv(4, 6)]);
-        assert_eq!(restricted.prop_value_at(p, "risk", 4).unwrap(), &crate::value::Value::str("low"));
-        assert_eq!(restricted.prop_value_at(p, "risk", 5).unwrap(), &crate::value::Value::str("high"));
+        assert_eq!(
+            restricted.prop_value_at(p, "risk", 4).unwrap(),
+            &crate::value::Value::str("low")
+        );
+        assert_eq!(
+            restricted.prop_value_at(p, "risk", 5).unwrap(),
+            &crate::value::Value::str("high")
+        );
         assert_eq!(restricted.prop_value_at(p, "risk", 7), None);
         restricted.validate().unwrap();
     }

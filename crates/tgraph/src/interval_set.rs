@@ -39,7 +39,9 @@ impl IntervalSet {
         for iv in v {
             match out.last_mut() {
                 Some(last) if last.overlaps_or_meets(&iv) => {
-                    *last = last.union_adjacent(&iv).expect("overlapping or adjacent intervals coalesce");
+                    *last = last
+                        .union_adjacent(&iv)
+                        .expect("overlapping or adjacent intervals coalesce");
                 }
                 _ => out.push(iv),
             }
@@ -110,7 +112,8 @@ impl IntervalSet {
                     first = idx;
                 }
                 last = idx + 1;
-                merged = merged.union_adjacent(iv).expect("overlapping or adjacent intervals coalesce");
+                merged =
+                    merged.union_adjacent(iv).expect("overlapping or adjacent intervals coalesce");
             } else if iv.start() > merged.end() + 1 {
                 if first == self.intervals.len() {
                     first = idx;

@@ -134,7 +134,10 @@ impl Itpg {
     }
 
     /// Iterates over `(property name, history)` pairs of an object.
-    pub fn properties(&self, object: Object) -> impl Iterator<Item = (&str, &ValuedIntervals)> + '_ {
+    pub fn properties(
+        &self,
+        object: Object,
+    ) -> impl Iterator<Item = (&str, &ValuedIntervals)> + '_ {
         self.data(object).props.iter().map(|(k, v)| (k.as_str(), v))
     }
 
@@ -220,10 +223,7 @@ fn segment_count(data: &IntervalObjectData) -> usize {
     boundaries.sort_unstable();
     boundaries.dedup();
     // Count segments [b_i, b_{i+1}-1] that fall inside the existence set.
-    boundaries
-        .windows(2)
-        .filter(|w| data.existence.contains(w[0]))
-        .count()
+    boundaries.windows(2).filter(|w| data.existence.contains(w[0])).count()
 }
 
 /// Incremental builder for interval-timestamped TPGs.
@@ -277,7 +277,13 @@ impl ItpgBuilder {
     }
 
     /// Adds an edge with the given display name, label and endpoints.
-    pub fn add_edge(&mut self, name: &str, label: &str, src: NodeId, tgt: NodeId) -> Result<EdgeId> {
+    pub fn add_edge(
+        &mut self,
+        name: &str,
+        label: &str,
+        src: NodeId,
+        tgt: NodeId,
+    ) -> Result<EdgeId> {
         if src.index() >= self.nodes.len() {
             return Err(GraphError::UnknownNode(src));
         }

@@ -80,7 +80,8 @@ impl Tpg {
 
     /// Iterates over all temporal objects `(o, t)` with `t ∈ Ω`.
     pub fn temporal_objects(&self) -> impl Iterator<Item = TemporalObject> + '_ {
-        self.objects().flat_map(move |o| self.domain.points().map(move |t| TemporalObject::new(o, t)))
+        self.objects()
+            .flat_map(move |o| self.domain.points().map(move |t| TemporalObject::new(o, t)))
     }
 
     fn data(&self, object: Object) -> &PointObjectData {
@@ -185,7 +186,7 @@ impl Tpg {
                 }
             }
             for (prop, history) in &data.props {
-                for (&t, _) in history {
+                for &t in history.keys() {
                     if !data.existence.contains(t) {
                         return Err(GraphError::PropertyWithoutExistence {
                             object,
@@ -253,7 +254,13 @@ impl TpgBuilder {
     }
 
     /// Adds an edge with the given display name, label and endpoints.
-    pub fn add_edge(&mut self, name: &str, label: &str, src: NodeId, tgt: NodeId) -> Result<EdgeId> {
+    pub fn add_edge(
+        &mut self,
+        name: &str,
+        label: &str,
+        src: NodeId,
+        tgt: NodeId,
+    ) -> Result<EdgeId> {
         if src.index() >= self.nodes.len() {
             return Err(GraphError::UnknownNode(src));
         }
@@ -287,7 +294,11 @@ impl TpgBuilder {
     }
 
     /// Declares that the object exists at every time point of `interval`.
-    pub fn set_exists_during(&mut self, object: impl Into<Object>, interval: Interval) -> Result<()> {
+    pub fn set_exists_during(
+        &mut self,
+        object: impl Into<Object>,
+        interval: Interval,
+    ) -> Result<()> {
         self.note_time(interval.start());
         self.note_time(interval.end());
         self.data_mut(object.into())?.existence.insert(interval);

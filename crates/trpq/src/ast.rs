@@ -158,7 +158,9 @@ impl TestExpr {
     pub fn has_path_condition(&self) -> bool {
         match self {
             TestExpr::PathTest(_) => true,
-            TestExpr::And(a, b) | TestExpr::Or(a, b) => a.has_path_condition() || b.has_path_condition(),
+            TestExpr::And(a, b) | TestExpr::Or(a, b) => {
+                a.has_path_condition() || b.has_path_condition()
+            }
             TestExpr::Not(a) => a.has_path_condition(),
             _ => false,
         }
@@ -342,7 +344,9 @@ impl Path {
         match self {
             Path::Test(_) => Some(0),
             Path::Axis(a) => Some(if a.is_temporal() { 1 } else { 0 }),
-            Path::Seq(a, b) => Some(a.max_temporal_steps()?.saturating_add(b.max_temporal_steps()?)),
+            Path::Seq(a, b) => {
+                Some(a.max_temporal_steps()?.saturating_add(b.max_temporal_steps()?))
+            }
             Path::Alt(a, b) => Some(a.max_temporal_steps()?.max(b.max_temporal_steps()?)),
             Path::Repeat(p, _, Some(m)) => Some(p.max_temporal_steps()?.saturating_mul(*m as u64)),
             Path::Repeat(p, _, None) => {
@@ -405,12 +409,14 @@ mod tests {
     #[test]
     fn q8_expression_builds_and_prints() {
         // (Node ∧ Person ∧ test ↦ pos)/(P/∃)[0,_]/F/(visits ∧ ∃)/F/(Node ∧ Room)
-        let q8 = Path::test(TestExpr::Node.and(TestExpr::label("Person")).and(TestExpr::prop("test", "pos")))
-            .then(Path::axis(Axis::Prev).then(TestExpr::Exists.into_path()).star())
-            .then(Path::axis(Axis::Fwd))
-            .then(TestExpr::label("visits").and(TestExpr::Exists).into_path())
-            .then(Path::axis(Axis::Fwd))
-            .then(TestExpr::Node.and(TestExpr::label("Room")).into_path());
+        let q8 = Path::test(
+            TestExpr::Node.and(TestExpr::label("Person")).and(TestExpr::prop("test", "pos")),
+        )
+        .then(Path::axis(Axis::Prev).then(TestExpr::Exists.into_path()).star())
+        .then(Path::axis(Axis::Fwd))
+        .then(TestExpr::label("visits").and(TestExpr::Exists).into_path())
+        .then(Path::axis(Axis::Fwd))
+        .then(TestExpr::Node.and(TestExpr::label("Room")).into_path());
         assert!(q8.has_occurrence_indicator());
         assert!(!q8.has_path_condition());
         assert!(q8.size() > 10);
@@ -462,7 +468,8 @@ mod tests {
 
     #[test]
     fn combinators_shape() {
-        let p = Path::seq_all([Path::axis(Axis::Fwd), Path::axis(Axis::Fwd), Path::axis(Axis::Next)]);
+        let p =
+            Path::seq_all([Path::axis(Axis::Fwd), Path::axis(Axis::Fwd), Path::axis(Axis::Next)]);
         assert_eq!(p.size(), 5);
         let a = Path::alt_all([Path::axis(Axis::Fwd), Path::axis(Axis::Bwd)]);
         assert!(matches!(a, Path::Alt(_, _)));

@@ -88,7 +88,14 @@ impl<'g> AnoiSolver<'g> {
     }
 
     /// `axis[n, m]` (or `axis[n, _]` when `m` is `None`).
-    fn repeated_axis(&self, axis: Axis, n: u32, m: Option<u32>, src: TemporalObject, dst: TemporalObject) -> bool {
+    fn repeated_axis(
+        &self,
+        axis: Axis,
+        n: u32,
+        m: Option<u32>,
+        src: TemporalObject,
+        dst: TemporalObject,
+    ) -> bool {
         let g = self.graph;
         let domain = g.domain();
         if !domain.contains(src.time) || !domain.contains(dst.time) {
@@ -124,7 +131,14 @@ impl<'g> AnoiSolver<'g> {
     /// be shortened by removing cycles while keeping its length ≥ n (each removed
     /// cycle has length ≤ 2·(|N|+|E|)), so the cap preserves the answer even for
     /// unbounded indicators.
-    fn structural_reachability(&self, axis: Axis, n: u32, m: Option<u32>, src: Object, dst: Object) -> bool {
+    fn structural_reachability(
+        &self,
+        axis: Axis,
+        n: u32,
+        m: Option<u32>,
+        src: Object,
+        dst: Object,
+    ) -> bool {
         let g = self.graph;
         let object_count = (g.num_nodes() + g.num_edges()) as u64;
         let cap = (n as u64).saturating_add(2 * object_count);
@@ -167,7 +181,7 @@ impl<'g> AnoiSolver<'g> {
 }
 
 fn within_bounds(delta: u64, n: u32, m: Option<u32>) -> bool {
-    delta >= n as u64 && m.map_or(true, |m| delta <= m as u64)
+    delta >= n as u64 && m.is_none_or(|m| delta <= m as u64)
 }
 
 #[cfg(test)]
@@ -192,7 +206,8 @@ mod tests {
         // Theorem D.1: (N[a1,a1] + N[0,0]) / … / (N[an,an] + N[0,0]) reaches (v, S)
         // from (v, 0) iff some subset of A sums to S.
         let g = single_node(20);
-        let choice = |a: u32| Path::axis(Axis::Next).repeat(a, a).or(Path::axis(Axis::Next).repeat(0, 0));
+        let choice =
+            |a: u32| Path::axis(Axis::Next).repeat(a, a).or(Path::axis(Axis::Next).repeat(0, 0));
         let r = choice(2).then(choice(5)).then(choice(9));
         for s in 0..=20u64 {
             let expected = matches!(s, 0 | 2 | 5 | 7 | 9 | 11 | 14 | 16);
@@ -227,26 +242,42 @@ mod tests {
         let d = b.add_node("d", "Person").unwrap();
         let e1 = b.add_edge("e1", "follows", a, c).unwrap();
         let e2 = b.add_edge("e2", "follows", c, d).unwrap();
-        for o in [Object::Node(a), Object::Node(c), Object::Node(d), Object::Edge(e1), Object::Edge(e2)] {
+        for o in
+            [Object::Node(a), Object::Node(c), Object::Node(d), Object::Edge(e1), Object::Edge(e2)]
+        {
             b.add_existence(o, Interval::of(0, 3)).unwrap();
         }
         let g = b.domain(Interval::of(0, 3)).build().unwrap();
         let src = TemporalObject::new(Object::Node(a), 1);
         let two = Path::axis(Axis::Fwd).repeat(2, 2);
         assert!(eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(c), 1)).unwrap());
-        assert!(!eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
+        assert!(
+            !eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap()
+        );
         let four = Path::axis(Axis::Fwd).repeat(4, 4);
-        assert!(eval_contains_anoi(&four, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
+        assert!(
+            eval_contains_anoi(&four, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap()
+        );
         let star = Path::axis(Axis::Fwd).repeat_at_least(1);
-        assert!(eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap());
-        assert!(eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Edge(e2), 1)).unwrap());
+        assert!(
+            eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Node(d), 1)).unwrap()
+        );
+        assert!(
+            eval_contains_anoi(&star, &g, src, TemporalObject::new(Object::Edge(e2), 1)).unwrap()
+        );
         // Backwards from d.
         let back = Path::axis(Axis::Bwd).repeat(2, 4);
         let from_d = TemporalObject::new(Object::Node(d), 2);
-        assert!(eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(c), 2)).unwrap());
-        assert!(eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(a), 2)).unwrap());
+        assert!(
+            eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(c), 2)).unwrap()
+        );
+        assert!(
+            eval_contains_anoi(&back, &g, from_d, TemporalObject::new(Object::Node(a), 2)).unwrap()
+        );
         // Times must match for structural navigation.
-        assert!(!eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(c), 2)).unwrap());
+        assert!(
+            !eval_contains_anoi(&two, &g, src, TemporalObject::new(Object::Node(c), 2)).unwrap()
+        );
     }
 
     #[test]
@@ -268,7 +299,8 @@ mod tests {
             eval_contains_anoi(&with_pc, &g, at(0), at(0)),
             Err(QueryError::UnsupportedFragment { .. })
         ));
-        let with_general_noi = Path::axis(Axis::Next).then(Path::test(TestExpr::Exists)).repeat(0, 2);
+        let with_general_noi =
+            Path::axis(Axis::Next).then(Path::test(TestExpr::Exists)).repeat(0, 2);
         assert!(matches!(
             eval_contains_anoi(&with_general_noi, &g, at(0), at(0)),
             Err(QueryError::UnsupportedFragment { .. })

@@ -24,7 +24,12 @@ use crate::ast::{Axis, Path, TestExpr};
 use crate::error::Result;
 
 /// Decides `(src, dst) ∈ ⟦path⟧_I` for an arbitrary `NavL[PC,NOI]` expression.
-pub fn eval_contains_full(path: &Path, graph: &Itpg, src: TemporalObject, dst: TemporalObject) -> bool {
+pub fn eval_contains_full(
+    path: &Path,
+    graph: &Itpg,
+    src: TemporalObject,
+    dst: TemporalObject,
+) -> bool {
     let mut solver = FullSolver::new(graph);
     solver.solve(path, src, dst)
 }
@@ -137,7 +142,7 @@ impl<'g> FullSolver<'g> {
                 1 => self.solve(inner, src, dst),
                 _ => {
                     let half = n / 2;
-                    if n % 2 == 0 {
+                    if n.is_multiple_of(2) {
                         self.split(src, dst, |solver, mid| {
                             solver.solve_repeat(inner, half, half, src, mid)
                                 && solver.solve_repeat(inner, half, half, mid, dst)
@@ -159,7 +164,7 @@ impl<'g> FullSolver<'g> {
                 1 => src == dst || self.solve(inner, src, dst),
                 _ => {
                     let half = m / 2;
-                    if m % 2 == 0 {
+                    if m.is_multiple_of(2) {
                         self.split(src, dst, |solver, mid| {
                             solver.solve_repeat(inner, 0, half, src, mid)
                                 && solver.solve_repeat(inner, 0, half, mid, dst)
@@ -178,7 +183,8 @@ impl<'g> FullSolver<'g> {
         } else {
             // r[n, m] = r[n, n] / r[0, m - n].
             self.split(src, dst, |solver, mid| {
-                solver.solve_repeat(inner, n, n, src, mid) && solver.solve_repeat(inner, 0, m - n, mid, dst)
+                solver.solve_repeat(inner, n, n, src, mid)
+                    && solver.solve_repeat(inner, 0, m - n, mid, dst)
             })
         };
         self.repeat_memo.insert(key, result);
@@ -208,10 +214,17 @@ impl<'g> FullSolver<'g> {
 }
 
 /// Single-step axis semantics over an ITPG, shared with the ANOI evaluator.
-pub(crate) fn axis_step(graph: &Itpg, axis: Axis, src: TemporalObject, dst: TemporalObject) -> bool {
+pub(crate) fn axis_step(
+    graph: &Itpg,
+    axis: Axis,
+    src: TemporalObject,
+    dst: TemporalObject,
+) -> bool {
     let domain = graph.domain();
     match axis {
-        Axis::Next => src.object == dst.object && dst.time == src.time + 1 && domain.contains(dst.time),
+        Axis::Next => {
+            src.object == dst.object && dst.time == src.time + 1 && domain.contains(dst.time)
+        }
         Axis::Prev => {
             src.object == dst.object
                 && src.time > 0
@@ -292,7 +305,8 @@ mod tests {
         // (N[a1,a1] + N[0,0]) / … / (N[an,an] + N[0,0]) to encode subset-sum.
         // A = {3, 5, 7}, S = 12 = 5 + 7 is solvable; S = 4 is not.
         let g = single_node(16);
-        let choice = |a: u32| Path::axis(Axis::Next).repeat(a, a).or(Path::axis(Axis::Next).repeat(0, 0));
+        let choice =
+            |a: u32| Path::axis(Axis::Next).repeat(a, a).or(Path::axis(Axis::Next).repeat(0, 0));
         let r = choice(3).then(choice(5)).then(choice(7));
         assert!(eval_contains_full(&r, &g, at(0), at(12)));
         assert!(eval_contains_full(&r, &g, at(0), at(15)));
@@ -308,12 +322,9 @@ mod tests {
         let g = single_node(31);
         let bit = |i: u32| {
             let step = 1u32 << i;
-            TestExpr::path_test(
-                Path::axis(Axis::Prev)
-                    .repeat(step, step)
-                    .repeat_at_least(0)
-                    .then(Path::test(TestExpr::TimeLt(1 << i).and(TestExpr::TimeLt(1 << (i - 1)).not()))),
-            )
+            TestExpr::path_test(Path::axis(Axis::Prev).repeat(step, step).repeat_at_least(0).then(
+                Path::test(TestExpr::TimeLt(1 << i).and(TestExpr::TimeLt(1 << (i - 1)).not())),
+            ))
         };
         // The paper indexes bits from 1, so bit i of t is (t >> (i - 1)) & 1.
         for t in 0..=15u64 {

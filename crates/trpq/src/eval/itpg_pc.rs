@@ -36,7 +36,11 @@ pub fn eval_contains_pc(
 
 /// Checks `(o, t) |= test` over an ITPG for tests *without* path conditions
 /// (CHECK-TEST-NOPC in the paper).  Path conditions are rejected with an error.
-pub fn check_test_no_pc(test: &TestExpr, graph: &Itpg, to: TemporalObject) -> Result<bool, QueryError> {
+pub fn check_test_no_pc(
+    test: &TestExpr,
+    graph: &Itpg,
+    to: TemporalObject,
+) -> Result<bool, QueryError> {
     if test.has_path_condition() {
         return Err(QueryError::UnsupportedFragment {
             expression: test.to_string(),
@@ -86,9 +90,16 @@ impl<'g> PcSolver<'g> {
         let g = self.graph;
         match path {
             Path::Test(test) => src == dst && self.check_test(test, src),
-            Path::Axis(Axis::Next) => src.object == dst.object && dst.time == src.time + 1 && g.domain().contains(dst.time),
+            Path::Axis(Axis::Next) => {
+                src.object == dst.object
+                    && dst.time == src.time + 1
+                    && g.domain().contains(dst.time)
+            }
             Path::Axis(Axis::Prev) => {
-                src.object == dst.object && src.time > 0 && dst.time + 1 == src.time && g.domain().contains(dst.time)
+                src.object == dst.object
+                    && src.time > 0
+                    && dst.time + 1 == src.time
+                    && g.domain().contains(dst.time)
             }
             Path::Axis(Axis::Fwd) => {
                 src.time == dst.time
@@ -113,12 +124,13 @@ impl<'g> PcSolver<'g> {
                 let la = a.max_temporal_steps().unwrap_or(u64::MAX);
                 let lb = b.max_temporal_steps().unwrap_or(u64::MAX);
                 let domain = g.domain();
-                let lo = src.time.saturating_sub(la).max(dst.time.saturating_sub(lb)).max(domain.start());
-                let hi = src
+                let lo = src
                     .time
-                    .saturating_add(la)
-                    .min(dst.time.saturating_add(lb))
-                    .min(domain.end());
+                    .saturating_sub(la)
+                    .max(dst.time.saturating_sub(lb))
+                    .max(domain.start());
+                let hi =
+                    src.time.saturating_add(la).min(dst.time.saturating_add(lb)).min(domain.end());
                 if lo > hi {
                     return false;
                 }
@@ -236,16 +248,23 @@ mod tests {
         let c = node(&g, "c");
         let m = edge(&g, "m");
         let fwd = Path::axis(Axis::Fwd);
-        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(a, 2), TemporalObject::new(m, 2)).unwrap());
-        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(m, 2), TemporalObject::new(c, 2)).unwrap());
-        assert!(!eval_contains_pc(&fwd, &g, TemporalObject::new(c, 2), TemporalObject::new(m, 2)).unwrap());
+        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(a, 2), TemporalObject::new(m, 2))
+            .unwrap());
+        assert!(eval_contains_pc(&fwd, &g, TemporalObject::new(m, 2), TemporalObject::new(c, 2))
+            .unwrap());
+        assert!(!eval_contains_pc(&fwd, &g, TemporalObject::new(c, 2), TemporalObject::new(m, 2))
+            .unwrap());
         let bwd = Path::axis(Axis::Bwd);
-        assert!(eval_contains_pc(&bwd, &g, TemporalObject::new(c, 5), TemporalObject::new(m, 5)).unwrap());
+        assert!(eval_contains_pc(&bwd, &g, TemporalObject::new(c, 5), TemporalObject::new(m, 5))
+            .unwrap());
         let next = Path::axis(Axis::Next);
-        assert!(eval_contains_pc(&next, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 4)).unwrap());
-        assert!(!eval_contains_pc(&next, &g, TemporalObject::new(a, 8), TemporalObject::new(a, 9)).unwrap());
+        assert!(eval_contains_pc(&next, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 4))
+            .unwrap());
+        assert!(!eval_contains_pc(&next, &g, TemporalObject::new(a, 8), TemporalObject::new(a, 9))
+            .unwrap());
         let prev = Path::axis(Axis::Prev);
-        assert!(eval_contains_pc(&prev, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 2)).unwrap());
+        assert!(eval_contains_pc(&prev, &g, TemporalObject::new(a, 3), TemporalObject::new(a, 2))
+            .unwrap());
     }
 
     #[test]
@@ -253,12 +272,17 @@ mod tests {
         // (Node ∧ Person ∧ test ↦ pos)/P/(Node ∧ ∃)
         let g = sample();
         let c = node(&g, "c");
-        let q6 = Path::test(TestExpr::Node.and(TestExpr::label("Person")).and(TestExpr::prop("test", "pos")))
-            .then(Path::axis(Axis::Prev))
-            .then(Path::test(TestExpr::Node.and(TestExpr::Exists)));
-        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 7), TemporalObject::new(c, 6)).unwrap());
-        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 8), TemporalObject::new(c, 7)).unwrap());
-        assert!(!eval_contains_pc(&q6, &g, TemporalObject::new(c, 6), TemporalObject::new(c, 5)).unwrap());
+        let q6 = Path::test(
+            TestExpr::Node.and(TestExpr::label("Person")).and(TestExpr::prop("test", "pos")),
+        )
+        .then(Path::axis(Axis::Prev))
+        .then(Path::test(TestExpr::Node.and(TestExpr::Exists)));
+        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 7), TemporalObject::new(c, 6))
+            .unwrap());
+        assert!(eval_contains_pc(&q6, &g, TemporalObject::new(c, 8), TemporalObject::new(c, 7))
+            .unwrap());
+        assert!(!eval_contains_pc(&q6, &g, TemporalObject::new(c, 6), TemporalObject::new(c, 5))
+            .unwrap());
     }
 
     #[test]
@@ -270,11 +294,14 @@ mod tests {
         let cond = Path::test(TestExpr::path_test(
             Path::axis(Axis::Fwd).then(Path::test(TestExpr::label("meets").and(TestExpr::Exists))),
         ));
-        assert!(eval_contains_pc(&cond, &g, TemporalObject::new(a, 2), TemporalObject::new(a, 2)).unwrap());
+        assert!(eval_contains_pc(&cond, &g, TemporalObject::new(a, 2), TemporalObject::new(a, 2))
+            .unwrap());
         // At time 5 the meets edge no longer exists.
-        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(a, 5), TemporalObject::new(a, 5)).unwrap());
+        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(a, 5), TemporalObject::new(a, 5))
+            .unwrap());
         // c is the target, not the source, of the edge.
-        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(c, 2), TemporalObject::new(c, 2)).unwrap());
+        assert!(!eval_contains_pc(&cond, &g, TemporalObject::new(c, 2), TemporalObject::new(c, 2))
+            .unwrap());
     }
 
     #[test]
@@ -282,7 +309,8 @@ mod tests {
         let g = sample();
         let a = node(&g, "a");
         let p = Path::axis(Axis::Next).repeat(0, 3);
-        let err = eval_contains_pc(&p, &g, TemporalObject::new(a, 1), TemporalObject::new(a, 2)).unwrap_err();
+        let err = eval_contains_pc(&p, &g, TemporalObject::new(a, 1), TemporalObject::new(a, 2))
+            .unwrap_err();
         assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
         assert!(check_test_no_pc(
             &TestExpr::path_test(Path::axis(Axis::Next)),

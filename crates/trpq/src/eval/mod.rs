@@ -69,7 +69,8 @@ mod tests {
                 .then(Path::axis(Axis::Next))
                 .then(Path::test(TestExpr::prop("test", "pos"))),
         ));
-        let anoi = Path::axis(Axis::Next).repeat(3, 3).then(Path::test(TestExpr::prop("test", "pos")));
+        let anoi =
+            Path::axis(Axis::Next).repeat(3, 3).then(Path::test(TestExpr::prop("test", "pos")));
         for t in 0..=6u64 {
             let anoi_result = eval_contains_itpg(&anoi, &g, at(t), at(t + 3)).unwrap();
             let expected = t + 3 <= 6 && t + 3 >= 5;

@@ -186,7 +186,7 @@ impl QuadTable {
             _ => {
                 let half = self.repeat_exact(n / 2, universe);
                 let squared = half.compose(&half);
-                if n % 2 == 0 {
+                if n.is_multiple_of(2) {
                     squared
                 } else {
                     squared.compose(self)
@@ -208,7 +208,7 @@ impl QuadTable {
         }
         let half = self.repeat_up_to(n / 2, universe);
         let doubled = half.compose(&half);
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             doubled
         } else {
             doubled.compose(&step)
@@ -305,7 +305,8 @@ mod tests {
     #[test]
     fn composition_joins_on_the_middle_object() {
         // 0→1, 1→2, 2→3 composed with itself gives 0→2, 1→3.
-        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
+        let chain =
+            QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
         let two = chain.compose(&chain);
         assert_eq!(two.quads(), &[q((0, 0), (2, 0)), q((1, 0), (3, 0))]);
         assert!(chain.compose(&QuadTable::empty()).is_empty());
@@ -313,7 +314,12 @@ mod tests {
 
     #[test]
     fn exact_repetition_is_n_fold_composition() {
-        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0)), q((3, 0), (4, 0))]);
+        let chain = QuadTable::from_quads([
+            q((0, 0), (1, 0)),
+            q((1, 0), (2, 0)),
+            q((2, 0), (3, 0)),
+            q((3, 0), (4, 0)),
+        ]);
         let uni = universe(5, 1);
         assert_eq!(chain.repeat_exact(0, &uni), uni);
         assert_eq!(chain.repeat_exact(1, &uni), chain);
@@ -323,7 +329,8 @@ mod tests {
 
     #[test]
     fn bounded_repetition_unions_all_lengths() {
-        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
+        let chain =
+            QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (3, 0))]);
         let uni = universe(4, 1);
         let up2 = chain.repeat_up_to(2, &uni);
         // Identity + single steps + double steps.
@@ -341,7 +348,8 @@ mod tests {
 
     #[test]
     fn unbounded_repetition_reaches_the_transitive_closure() {
-        let cycle = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (0, 0))]);
+        let cycle =
+            QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0)), q((2, 0), (0, 0))]);
         let uni = universe(3, 1);
         let star = cycle.repeat_at_least(0, &uni);
         // Every pair is reachable in a 3-cycle.

@@ -96,14 +96,20 @@ impl<'g> Evaluator<'g> {
             Axis::Next => {
                 for o in g.objects() {
                     for t in domain.start()..domain.end() {
-                        quads.push(Quad::new(TemporalObject::new(o, t), TemporalObject::new(o, t + 1)));
+                        quads.push(Quad::new(
+                            TemporalObject::new(o, t),
+                            TemporalObject::new(o, t + 1),
+                        ));
                     }
                 }
             }
             Axis::Prev => {
                 for o in g.objects() {
                     for t in domain.start()..domain.end() {
-                        quads.push(Quad::new(TemporalObject::new(o, t + 1), TemporalObject::new(o, t)));
+                        quads.push(Quad::new(
+                            TemporalObject::new(o, t + 1),
+                            TemporalObject::new(o, t),
+                        ));
                     }
                 }
             }
@@ -255,11 +261,10 @@ mod tests {
             &g,
         );
         let a = node(&g, "a");
-        assert_eq!(person_low, vec![
-            TemporalObject::new(a, 1),
-            TemporalObject::new(a, 2),
-            TemporalObject::new(a, 3),
-        ]);
+        assert_eq!(
+            person_low,
+            vec![TemporalObject::new(a, 1), TemporalObject::new(a, 2), TemporalObject::new(a, 3),]
+        );
 
         let exists_rooms = eval_test(&TestExpr::label("Room").and(TestExpr::Exists), &g);
         assert_eq!(exists_rooms.len(), 7); // r exists on [2,8].
@@ -382,9 +387,17 @@ mod tests {
             .then(Path::test(TestExpr::label("Room").and(TestExpr::Exists)));
         let table = eval_path(&p, &g);
         // From time 3 (unavailable) the room becomes available at 6.
-        assert!(table.contains(&Quad::new(TemporalObject::new(room, 3), TemporalObject::new(room, 6))));
-        assert!(table.contains(&Quad::new(TemporalObject::new(room, 5), TemporalObject::new(room, 6))));
-        assert!(!table.contains(&Quad::new(TemporalObject::new(room, 3), TemporalObject::new(room, 7))));
-        assert!(!table.contains(&Quad::new(TemporalObject::new(room, 1), TemporalObject::new(room, 6))));
+        assert!(
+            table.contains(&Quad::new(TemporalObject::new(room, 3), TemporalObject::new(room, 6)))
+        );
+        assert!(
+            table.contains(&Quad::new(TemporalObject::new(room, 5), TemporalObject::new(room, 6)))
+        );
+        assert!(
+            !table.contains(&Quad::new(TemporalObject::new(room, 3), TemporalObject::new(room, 7)))
+        );
+        assert!(
+            !table.contains(&Quad::new(TemporalObject::new(room, 1), TemporalObject::new(room, 6)))
+        );
     }
 }

@@ -131,7 +131,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
             '_' => {
                 // A lone underscore is the "_" of open-ended occurrence indicators;
                 // an underscore starting an identifier is part of the identifier.
-                if bytes.get(i + 1).map_or(true, |&b| !(b as char).is_alphanumeric() && b != b'_') {
+                if bytes.get(i + 1).is_none_or(|&b| !(b as char).is_alphanumeric() && b != b'_') {
                     push(&mut tokens, Token::Underscore, start, &mut i);
                 } else {
                     let (ident, next) = read_ident(input, i);

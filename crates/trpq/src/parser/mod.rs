@@ -241,15 +241,10 @@ impl Parser {
         self.keyword("MATCH")?;
         let mut parts = Vec::new();
         parts.push(PatternPart::Node(self.node_pattern()?));
-        loop {
-            match self.peek() {
-                Some(Token::Dash) | Some(Token::Lt) => {
-                    let connector = self.connector()?;
-                    parts.push(connector);
-                    parts.push(PatternPart::Node(self.node_pattern()?));
-                }
-                _ => break,
-            }
+        while let Some(Token::Dash | Token::Lt) = self.peek() {
+            let connector = self.connector()?;
+            parts.push(connector);
+            parts.push(PatternPart::Node(self.node_pattern()?));
         }
         self.keyword("ON")?;
         let graph = self.ident("graph name after ON")?;
@@ -436,7 +431,9 @@ impl Parser {
                 self.expect(&Token::RParen, "')' closing a grouped path expression")?;
                 RegexAtom::Group(Box::new(inner))
             }
-            other => return self.error(format!("expected a path expression atom, found {other:?}")),
+            other => {
+                return self.error(format!("expected a path expression atom, found {other:?}"))
+            }
         };
         let repeat = self.repetition()?;
         Ok(RegexItem { atom, repeat })
@@ -452,13 +449,20 @@ impl Parser {
                 self.pos += 1;
                 let lo = match self.advance() {
                     Some(Token::Number(n)) => n,
-                    other => return self.error(format!("expected a repetition lower bound, found {other:?}")),
+                    other => {
+                        return self
+                            .error(format!("expected a repetition lower bound, found {other:?}"))
+                    }
                 };
                 self.expect(&Token::Comma, "',' in a numerical occurrence indicator")?;
                 let hi = match self.advance() {
                     Some(Token::Number(n)) => Some(n),
                     Some(Token::Underscore) => None,
-                    other => return self.error(format!("expected a repetition upper bound or '_', found {other:?}")),
+                    other => {
+                        return self.error(format!(
+                            "expected a repetition upper bound or '_', found {other:?}"
+                        ))
+                    }
                 };
                 self.expect(&Token::RBracket, "']' closing a numerical occurrence indicator")?;
                 let lo = u32::try_from(lo).map_err(|_| QueryError::Parse {
@@ -506,10 +510,8 @@ mod tests {
 
     #[test]
     fn parses_property_and_time_constraints() {
-        let q = parse_match(
-            "MATCH (x:Person {risk = 'low' AND time = '1'}) ON contact_tracing",
-        )
-        .unwrap();
+        let q = parse_match("MATCH (x:Person {risk = 'low' AND time = '1'}) ON contact_tracing")
+            .unwrap();
         match &q.parts[0] {
             PatternPart::Node(n) => {
                 assert_eq!(n.constraints.len(), 2);

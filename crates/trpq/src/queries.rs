@@ -93,9 +93,7 @@ impl QueryId {
                 "MATCH (x:Person {risk = 'low'})-[z:meets]->(y:Person {risk = 'high'}) \
                  ON contact_tracing"
             }
-            QueryId::Q6 => {
-                "MATCH (x:Person {test = 'pos'})-/PREV/-(y:Person) ON contact_tracing"
-            }
+            QueryId::Q6 => "MATCH (x:Person {test = 'pos'})-/PREV/-(y:Person) ON contact_tracing",
             QueryId::Q7 => {
                 "MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) \
                  ON contact_tracing"
@@ -141,7 +139,9 @@ impl QueryId {
     pub fn with_temporal_bound(self, m: u32) -> Result<MatchClause> {
         let text = match self {
             QueryId::Q10 => self.text().replace("PREV[0,12]", &format!("PREV[0,{m}]")),
-            QueryId::Q11 | QueryId::Q12 => self.text().replace("NEXT[0,12]", &format!("NEXT[0,{m}]")),
+            QueryId::Q11 | QueryId::Q12 => {
+                self.text().replace("NEXT[0,12]", &format!("NEXT[0,{m}]"))
+            }
             _ => self.text().to_owned(),
         };
         parse_match(&text)
@@ -190,7 +190,8 @@ mod tests {
 
     #[test]
     fn temporal_navigation_split_matches_section_vi() {
-        let without: Vec<_> = QueryId::ALL.iter().filter(|q| !q.uses_temporal_navigation()).collect();
+        let without: Vec<_> =
+            QueryId::ALL.iter().filter(|q| !q.uses_temporal_navigation()).collect();
         assert_eq!(without.len(), 5);
         assert!(QueryId::Q8.uses_temporal_navigation());
         assert!(!QueryId::Q5.uses_temporal_navigation());

@@ -75,11 +75,7 @@ pub fn rewrite_match(clause: &MatchClause) -> Result<RewrittenQuery> {
             PatternPart::Regex(regex) => pieces.push(rewrite_regex(regex)),
         }
     }
-    Ok(RewrittenQuery {
-        path: Path::seq_all(pieces),
-        variables,
-        graph: clause.graph.clone(),
-    })
+    Ok(RewrittenQuery { path: Path::seq_all(pieces), variables, graph: clause.graph.clone() })
 }
 
 /// Rewrites a node pattern into its test expression.
@@ -109,9 +105,12 @@ pub fn rewrite_edge_pattern(edge: &EdgePattern) -> Path {
 
 /// Rewrites a temporal regular expression from the `-/…/-` surface syntax.
 pub fn rewrite_regex(regex: &Regex) -> Path {
-    Path::alt_all(regex.alternatives.iter().map(|seq| {
-        Path::seq_all(seq.items.iter().map(rewrite_regex_item))
-    }))
+    Path::alt_all(
+        regex
+            .alternatives
+            .iter()
+            .map(|seq| Path::seq_all(seq.items.iter().map(rewrite_regex_item))),
+    )
 }
 
 fn rewrite_regex_item(item: &RegexItem) -> Path {
@@ -252,16 +251,14 @@ mod tests {
         ] {
             let q = rewrite(text);
             let fragment = classify(&q.path);
-            assert!(
-                fragment.is_sub_fragment_of(Fragment::Noi),
-                "{text} classified as {fragment}"
-            );
+            assert!(fragment.is_sub_fragment_of(Fragment::Noi), "{text} classified as {fragment}");
         }
     }
 
     #[test]
     fn duplicate_variables_are_rejected() {
-        let err = rewrite_match(&parse_match("MATCH (x)-[x:meets]->(y) ON g").unwrap()).unwrap_err();
+        let err =
+            rewrite_match(&parse_match("MATCH (x)-[x:meets]->(y) ON g").unwrap()).unwrap_err();
         assert!(matches!(err, QueryError::InvalidVariable(_)));
     }
 

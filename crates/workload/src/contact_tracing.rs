@@ -118,11 +118,8 @@ fn build_graph(config: &ContactTracingConfig, stays: &[Stay], rng: &mut StdRng) 
     // Risk and test properties.
     for (person, node) in person_nodes.iter().enumerate() {
         let Some(node) = *node else { continue };
-        let existence: Vec<Interval> = stays
-            .iter()
-            .filter(|s| s.person == person)
-            .map(|s| s.interval)
-            .collect();
+        let existence: Vec<Interval> =
+            stays.iter().filter(|s| s.person == person).map(|s| s.interval).collect();
         let high = rng.gen_bool(config.high_risk_rate);
         let risk = if high { "high" } else { "low" };
         for iv in &existence {
@@ -275,7 +272,8 @@ mod tests {
         // edges, because co-location counts grow quadratically with density.
         let small = generate(&ContactTracingConfig::with_persons(400).with_seed(3));
         let large = generate(&ContactTracingConfig::with_persons(800).with_seed(3));
-        let meets = |g: &Itpg| g.edge_ids().filter(|&e| g.label(Object::Edge(e)) == "meets").count();
+        let meets =
+            |g: &Itpg| g.edge_ids().filter(|&e| g.label(Object::Edge(e)) == "meets").count();
         assert!(
             meets(&large) as f64 > 2.5 * meets(&small) as f64,
             "meets: {} vs {}",

@@ -84,7 +84,10 @@ impl ScaleFactor {
     /// A generator configuration with exactly the paper's person count.
     pub fn paper_config(self) -> ContactTracingConfig {
         ContactTracingConfig {
-            trajectories: TrajectoryConfig { num_persons: self.paper_persons(), ..Default::default() },
+            trajectories: TrajectoryConfig {
+                num_persons: self.paper_persons(),
+                ..Default::default()
+            },
             ..Default::default()
         }
     }

@@ -109,9 +109,11 @@ impl Distribution<usize> for PopularitySampler {
 /// Generates the stays of every person.
 pub fn generate_stays(config: &TrajectoryConfig, rng: &mut StdRng) -> Vec<Stay> {
     let room_sampler = PopularitySampler::new(config.num_rooms, config.popularity_skew);
-    let meeting_sampler = PopularitySampler::new(config.num_meeting_locations, config.popularity_skew);
+    let meeting_sampler =
+        PopularitySampler::new(config.num_meeting_locations, config.popularity_skew);
     let horizon = config.num_time_points.max(1);
-    let mut stays = Vec::with_capacity((config.num_persons as f64 * config.mean_stays_per_person) as usize);
+    let mut stays =
+        Vec::with_capacity((config.num_persons as f64 * config.mean_stays_per_person) as usize);
 
     for person in 0..config.num_persons {
         // Number of stays: 1 + Poisson-ish around the configured mean.
@@ -131,7 +133,7 @@ pub fn generate_stays(config: &TrajectoryConfig, rng: &mut StdRng) -> Vec<Stay> 
             };
             stays.push(Stay { person, place, interval: Interval::of(t, end) });
             // Gap before the next stay.
-            let gap = rng.gen_range(1..=3);
+            let gap = rng.gen_range(1..=3u64);
             t = end + 1 + gap;
         }
     }

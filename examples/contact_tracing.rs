@@ -11,10 +11,7 @@ use tpath::trpq::queries::QueryId;
 use tpath::workload::ContactTracingConfig;
 
 fn main() {
-    let num_persons: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let num_persons: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
 
     let config = ContactTracingConfig::with_persons(num_persons).with_positivity_rate(0.02);
     let started = Instant::now();
@@ -49,16 +46,9 @@ fn main() {
 
     // Zoom in on the most selective contact-tracing question: who should be alerted?
     let out = tpath::engine::execute_query(QueryId::Q9, &graph, &options);
-    let mut alerted: Vec<&str> = out
-        .table
-        .rows
-        .iter()
-        .map(|row| graph.object_name(row[0].object))
-        .collect();
+    let mut alerted: Vec<&str> =
+        out.table.rows.iter().map(|row| graph.object_name(row[0].object)).collect();
     alerted.sort_unstable();
     alerted.dedup();
-    println!(
-        "\n{} high-risk individuals met someone who later tested positive",
-        alerted.len()
-    );
+    println!("\n{} high-risk individuals met someone who later tested positive", alerted.len());
 }

@@ -27,7 +27,8 @@ fn main() {
     );
 
     // 3. The contact-tracing query of Section I-A, written in the practical syntax.
-    let query = "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-(y:Person {test = 'pos'}) \
+    let query =
+        "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-(y:Person {test = 'pos'}) \
                  ON contact_tracing";
     println!("{query}\n");
     let out = tpath::engine::execute_text(query, &graph, &ExecutionOptions::default())

@@ -55,8 +55,16 @@ fn main() {
                 .map(|q| q.dst.time)
                 .min();
             match next {
-                Some(next) => println!("  {:<14} blocked at {:>2} → free again at {next}", tpg.name(object), t),
-                None => println!("  {:<14} blocked at {:>2} → not available again today", tpg.name(object), t),
+                Some(next) => println!(
+                    "  {:<14} blocked at {:>2} → free again at {next}",
+                    tpg.name(object),
+                    t
+                ),
+                None => println!(
+                    "  {:<14} blocked at {:>2} → not available again today",
+                    tpg.name(object),
+                    t
+                ),
             }
         }
     }

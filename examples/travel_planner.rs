@@ -45,7 +45,8 @@ fn main() {
 
     // A journey from Tokyo towards Sydney mixing train + flight + flight:
     // ride a service (FWD/FWD), wait at the stopover (NEXT*), ride the next one.
-    let query = "MATCH (a:City)-/FWD/:train/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
+    let query =
+        "MATCH (a:City)-/FWD/:train/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
                  ON travel";
     println!("{query}\n");
     let out = tpath::engine::execute_text(query, &graph, &options).unwrap();
@@ -59,12 +60,18 @@ fn main() {
     let flights_only = "MATCH (a:City {time = '6'})-/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
                         ON travel";
     let out = tpath::engine::execute_text(flights_only, &graph, &options).unwrap();
-    println!("\nall-flight three-leg journeys starting at hour 6: {} results", out.stats.output_rows);
+    println!(
+        "\nall-flight three-leg journeys starting at hour 6: {} results",
+        out.stats.output_rows
+    );
 
     // Journeys that also move *backwards* in time ("which earlier departures would
     // have made this connection?") are expressible too, something T-GQL's consecutive
     // paths cannot state.
     let backwards = "MATCH (a:City)-/FWD/:flight/FWD/PREV*/FWD/:train/FWD/-(b:City) ON travel";
     let out = tpath::engine::execute_text(backwards, &graph, &options).unwrap();
-    println!("journeys combining a flight with an earlier train connection: {} results", out.stats.output_rows);
+    println!(
+        "journeys combining a flight with an earlier train connection: {} results",
+        out.stats.output_rows
+    );
 }

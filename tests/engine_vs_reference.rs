@@ -46,7 +46,8 @@ fn compare_all_queries(itpg: &Itpg, label: &str) {
         let engine_side = engine_sources(&relations, id);
         let reference_side = reference_sources(itpg, id);
         assert_eq!(
-            engine_side, reference_side,
+            engine_side,
+            reference_side,
             "{label}: engine and reference evaluator disagree on {}",
             id.name()
         );
@@ -90,8 +91,10 @@ fn engine_pairs_match_reference_pairs_for_two_variable_queries() {
             let last = &row[row.len() - 1];
             match (first.time, last.time) {
                 (TimeRef::Point(a), TimeRef::Point(b)) => {
-                    engine_pairs
-                        .insert((TemporalObject::new(first.object, a), TemporalObject::new(last.object, b)));
+                    engine_pairs.insert((
+                        TemporalObject::new(first.object, a),
+                        TemporalObject::new(last.object, b),
+                    ));
                 }
                 (TimeRef::Interval(iv), TimeRef::Interval(_)) => {
                     // Structural queries: the whole row shares each snapshot time.
@@ -147,7 +150,8 @@ fn itpg_membership_checks_agree_with_the_tpg_relation() {
                     let dst = TemporalObject::new(o2, t);
                     if !reference.contains(&trpq::eval::quad_table::Quad::new(src, dst)) {
                         assert!(
-                            !trpq::eval::eval_contains_itpg(&rewritten.path, &itpg, src, dst).unwrap(),
+                            !trpq::eval::eval_contains_itpg(&rewritten.path, &itpg, src, dst)
+                                .unwrap(),
                             "{}: non-tuple accepted over the ITPG",
                             id.name()
                         );

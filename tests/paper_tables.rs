@@ -119,10 +119,20 @@ fn q5_low_risk_meets_high_risk() {
         coalesced,
         vec![
             vec![
-                "n1".to_string(), "[5, 6]".into(), "e1".into(), "[5, 6]".into(), "n2".into(), "[5, 6]".into()
+                "n1".to_string(),
+                "[5, 6]".into(),
+                "e1".into(),
+                "[5, 6]".into(),
+                "n2".into(),
+                "[5, 6]".into()
             ],
             vec![
-                "n2".to_string(), "[1, 2]".into(), "e2".into(), "[1, 2]".into(), "n3".into(), "[1, 2]".into()
+                "n2".to_string(),
+                "[1, 2]".into(),
+                "e2".into(),
+                "[1, 2]".into(),
+                "n3".into(),
+                "[1, 2]".into()
             ],
         ]
     );
@@ -218,7 +228,10 @@ fn q12_union_of_both_close_contact_definitions() {
     let g = graph();
     let out = run(QueryId::Q12, &g);
     let mut actual = rows(&g, &out);
-    actual.sort_by(|a, b| (a[0].clone(), a[1].parse::<u64>().unwrap()).cmp(&(b[0].clone(), b[1].parse::<u64>().unwrap())));
+    actual.sort_by(|a, b| {
+        (a[0].clone(), a[1].parse::<u64>().unwrap())
+            .cmp(&(b[0].clone(), b[1].parse::<u64>().unwrap()))
+    });
     assert_eq!(
         actual,
         vec![
@@ -243,9 +256,7 @@ fn section_iv_intermediate_examples() {
     );
     assert_eq!(
         rows(&g, &with_y),
-        vec![vec![
-            "n6".to_string(), "9".into(), "n6".into(), "8".into(), "n4".into(), "8".into()
-        ]]
+        vec![vec!["n6".to_string(), "9".into(), "n6".into(), "8".into(), "n4".into(), "8".into()]]
     );
     // The simplified variant without the intermediate variable.
     let without_y = run_text(
@@ -289,11 +300,11 @@ fn queries_without_temporal_navigation_have_equal_interval_and_total_work() {
     }
     for id in [QueryId::Q6, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q11, QueryId::Q12] {
         let out = run(id, &g);
-        assert!(out
-            .table
-            .rows
-            .iter()
-            .all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Point(_)))), "{}", id.name());
+        assert!(
+            out.table.rows.iter().all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Point(_)))),
+            "{}",
+            id.name()
+        );
     }
 }
 

@@ -18,7 +18,8 @@ use trpq::eval::tpg::eval_path;
 const MAX_TIME: Time = 7;
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0..=MAX_TIME, 0..=3u64).prop_map(|(start, len)| Interval::of(start, (start + len).min(MAX_TIME)))
+    (0..=MAX_TIME, 0..=3u64)
+        .prop_map(|(start, len)| Interval::of(start, (start + len).min(MAX_TIME)))
 }
 
 prop_compose! {
@@ -76,8 +77,8 @@ proptest! {
 /// [`build_graph`].
 #[derive(Debug, Clone)]
 struct GraphSpec {
-    nodes: Vec<(Vec<Interval>, bool)>,          // existence intervals, high-risk flag
-    edges: Vec<(usize, usize, Interval, u8)>,   // src, tgt, desired interval, label choice
+    nodes: Vec<(Vec<Interval>, bool)>, // existence intervals, high-risk flag
+    edges: Vec<(usize, usize, Interval, u8)>, // src, tgt, desired interval, label choice
 }
 
 fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
@@ -85,10 +86,7 @@ fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
         (prop::collection::vec(interval_strategy(), 1..3), any::<bool>()),
         2..5,
     );
-    let edges = prop::collection::vec(
-        (0..4usize, 0..4usize, interval_strategy(), 0..2u8),
-        0..5,
-    );
+    let edges = prop::collection::vec((0..4usize, 0..4usize, interval_strategy(), 0..2u8), 0..5);
     (nodes, edges).prop_map(|(nodes, edges)| GraphSpec { nodes, edges })
 }
 
@@ -155,14 +153,10 @@ fn pc_path_strategy() -> impl Strategy<Value = Path> {
 
 /// Random expressions of `NavL[ANOI]` (indicators only on axes, no path conditions).
 fn anoi_path_strategy() -> impl Strategy<Value = Path> {
-    let axis = prop_oneof![
-        Just(Axis::Fwd),
-        Just(Axis::Bwd),
-        Just(Axis::Next),
-        Just(Axis::Prev)
-    ];
+    let axis = prop_oneof![Just(Axis::Fwd), Just(Axis::Bwd), Just(Axis::Next), Just(Axis::Prev)];
     let leaf = prop_oneof![
-        (axis.clone(), 0..3u32, 0..3u32).prop_map(|(a, n, extra)| Path::axis(a).repeat(n, n + extra)),
+        (axis.clone(), 0..3u32, 0..3u32)
+            .prop_map(|(a, n, extra)| Path::axis(a).repeat(n, n + extra)),
         axis.prop_map(Path::axis),
         Just(Path::test(TestExpr::Exists)),
         Just(Path::test(TestExpr::label("Person"))),

@@ -1,0 +1,25 @@
+//! Smoke test keeping the README entry path working: `cargo run --example
+//! quickstart` must exit 0 and print the Figure 1 answer. Runs in CI as part of
+//! `cargo test`.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_and_answers_figure1() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .env("CARGO_TERM_COLOR", "never")
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code()
+    );
+    // The quickstart answers the introduction's motivating question with the
+    // three at-risk bindings of the Figure 1 graph.
+    assert!(stdout.contains("3 bindings"), "unexpected quickstart output:\n{stdout}");
+}

@@ -1,0 +1,95 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 calling convention — the spawn
+//! closure receives a `&Scope` argument, and both `scope` and `join` return
+//! `Result` — implemented on top of `std::thread::scope`, which has subsumed
+//! crossbeam's scoped threads since Rust 1.63.
+
+use std::any::Any;
+
+/// The error half of [`Result`]: a captured thread panic payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Result type of [`scope`] and [`ScopedJoinHandle::join`].
+pub type Result<T> = std::result::Result<T, PanicPayload>;
+
+/// A scope in which threads borrowing non-`'static` data can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope again so it can
+    /// spawn further threads, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its panic payload on panic.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope for spawning threads that borrow from the caller's stack.
+///
+/// Unlike crossbeam, a panic in an unjoined child propagates out of the
+/// enclosing `std::thread::scope` instead of being returned as `Err`; every
+/// caller in this workspace joins all of its handles, so the difference is
+/// unobservable here.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let n = scope(|s| s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2).join().unwrap())
+            .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_is_captured_by_join() {
+        let joined = scope(|s| s.spawn(|_| panic!("boom")).join());
+        assert!(joined.unwrap().is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x surface the workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`
+//! and `boxed`; `Just`, tuple and range strategies; `prop::collection::vec`;
+//! `any::<T>()`; and the `proptest!`, `prop_compose!`, `prop_oneof!`,
+//! `prop_assert!` and `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message; rerun
+//!   with the printed case number context to debug.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG seed from
+//!   the test's name, so CI failures reproduce locally without a persistence
+//!   file.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            U: 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            from_fn(move |rng| f(self.new_value(rng)))
+        }
+
+        /// Builds a recursive strategy: `f` receives the strategy for the
+        /// previous depth and returns the strategy for one level deeper.
+        /// `depth` bounds the recursion; the sizing hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(current).boxed();
+                let leaf = leaf.clone();
+                // Half leaves, half recursive cases keeps generated sizes small.
+                current = from_fn(move |rng| {
+                    if rng.next_u64() % 2 == 0 {
+                        leaf.new_value(rng)
+                    } else {
+                        deeper.new_value(rng)
+                    }
+                });
+            }
+            current
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Wraps a generation closure as a [`BoxedStrategy`].
+    pub fn from_fn<V, F>(f: F) -> BoxedStrategy<V>
+    where
+        F: Fn(&mut TestRng) -> V + 'static,
+    {
+        BoxedStrategy(Rc::new(f))
+    }
+
+    /// Uniformly picks one of `arms` each time a value is generated.
+    /// Backs the `prop_oneof!` macro.
+    pub fn union<V: 'static>(arms: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        from_fn(move |rng| {
+            let i = (rng.next_u64() % arms.len() as u64) as usize;
+            arms[i].new_value(rng)
+        })
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot generate from empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot generate from empty range");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as i128 + (rng.next_u64() % (span + 1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and the [`any`] entry point.
+
+    use crate::strategy::{from_fn, BoxedStrategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64().is_multiple_of(2)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The canonical strategy for any value of `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        from_fn(T::arbitrary)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::{from_fn, BoxedStrategy, Strategy};
+
+    /// Bounds on the size of a generated collection (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        from_fn(move |rng| {
+            let span = (size.max - size.min + 1) as u64;
+            let len = size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| element.new_value(rng)).collect()
+        })
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG and per-test configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(s: String) -> Self {
+            TestCaseError(s)
+        }
+    }
+
+    /// splitmix64-seeded xoshiro256++ — deterministic per test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derives a generator from an arbitrary label (the test's name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label gives a stable 64-bit seed.
+            let mut seed = 0xcbf29ce484222325u64;
+            for b in label.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Returns the next uniform `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests: each `fn` runs `cases` times over freshly
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let strategy = ($($strategy,)*);
+                for case in 0..config.cases {
+                    let ($($pat,)*) =
+                        $crate::strategy::Strategy::new_value(&strategy, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(err) = outcome {
+                        panic!("property failed on case {} of {}: {}", case + 1, config.cases, err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares a function returning a composed strategy, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($pat:pat in $strategy:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])* $vis fn $name($($params)*) -> $crate::strategy::BoxedStrategy<$ret> {
+            let strategy = ($($strategy,)*);
+            $crate::strategy::from_fn(move |rng| {
+                let ($($pat,)*) = $crate::strategy::Strategy::new_value(&strategy, rng);
+                $body
+            })
+        }
+    };
+}
+
+/// Uniformly chooses between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current generated case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current generated case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn small_vec()(v in prop::collection::vec(0..10u64, 0..4)) -> Vec<u64> {
+            v
+        }
+    }
+
+    fn recursive_depth_strategy() -> BoxedStrategy<u32> {
+        Just(0u32).prop_recursive(3, 8, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds((a, b) in (0..5u64, 2..=4usize), flag in any::<bool>()) {
+            prop_assert!(a < 5);
+            prop_assert!((2..=4).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn composed_vectors_respect_their_size(mut v in small_vec()) {
+            v.push(0);
+            prop_assert!(v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_recursion_bound_depth(d in recursive_depth_strategy(), pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(d <= 3, "depth {} exceeds recursion bound", d);
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_label() {
+        let mut a = crate::test_runner::TestRng::deterministic("label");
+        let mut b = crate::test_runner::TestRng::deterministic("label");
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! The real crates.io registry is unreachable in the build environment, so this
+//! crate provides just the surface the workspace uses: the `Serialize` /
+//! `Deserialize` trait names and the matching derive macros. The derives expand to
+//! nothing, and the traits carry no methods; swap this shim for the real `serde`
+//! by pointing the `serde` entry of `[workspace.dependencies]` in the workspace
+//! manifest at the pinned registry version once a registry is reachable (see
+//! `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
