@@ -1,0 +1,249 @@
+//! `tpath-perf` — the machine-readable performance harness.
+//!
+//! Runs a fixed matrix of workloads (scale × query × join strategy × threads) from
+//! the `workload` crate with seeded RNG and writes one `BENCH_<label>.json` so every
+//! run appends a point to the repository's perf trajectory.  The hash and merge join
+//! strategies must produce identical output cardinalities on every workload; the
+//! binary exits non-zero if they disagree, which is what the CI `perf-smoke` job
+//! asserts.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tpath-perf -- [--smoke] [--label NAME] [--out DIR]
+//! ```
+//!
+//! * `--smoke`   — tiny sizes (tens of persons, 24 time slots) so the whole matrix
+//!   finishes well under a minute; used by CI.
+//! * `--label`   — the `<label>` part of the output file name (default: `local`, or
+//!   `TPATH_BENCH_LABEL`).
+//! * `--out`     — directory for the JSON report (default: current directory).
+//! * `--threads` — comma-separated worker counts to sweep (default: `1` plus all
+//!   cores when more than one is available).
+//!
+//! See README.md ("Performance trajectory") for the JSON schema.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use bench::json::Json;
+use engine::{ExecutionOptions, JoinStrategy};
+use trpq::queries::QueryId;
+use workload::{ContactTracingConfig, ScaleFactor};
+
+/// The RNG seed all perf workloads are generated from, so runs are comparable
+/// across machines and commits.
+const PERF_SEED: u64 = 0x7e_a7_05;
+
+struct Args {
+    smoke: bool,
+    label: String,
+    out_dir: String,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        label: std::env::var("TPATH_BENCH_LABEL").unwrap_or_else(|_| "local".to_owned()),
+        out_dir: ".".to_owned(),
+        threads: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--label" => args.label = iter.next().ok_or("--label needs a value")?,
+            "--out" => args.out_dir = iter.next().ok_or("--out needs a value")?,
+            "--threads" => {
+                let spec = iter.next().ok_or("--threads needs a value")?;
+                args.threads = spec
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => {
+                println!("tpath-perf [--smoke] [--label NAME] [--out DIR] [--threads N,M,...]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.label.is_empty() || !args.label.chars().all(|c| c.is_alphanumeric() || c == '-') {
+        return Err(format!(
+            "label {:?} must be non-empty alphanumeric/dash (it names BENCH_<label>.json)",
+            args.label
+        ));
+    }
+    if args.threads.is_empty() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        args.threads = if cores > 1 { vec![1, cores] } else { vec![1] };
+    }
+    Ok(args)
+}
+
+/// One scale point of the matrix: a name plus a fully-seeded generator config.
+fn matrix_scales(smoke: bool) -> Vec<(String, ContactTracingConfig)> {
+    if smoke {
+        // Tiny graphs with a shortened temporal domain and a raised positivity rate
+        // (so the temporal queries return rows): the point is schema and
+        // hash-vs-merge agreement, not statistical stability.
+        [100usize, 200]
+            .into_iter()
+            .map(|persons| {
+                (
+                    format!("S{persons}"),
+                    ContactTracingConfig::with_persons(persons)
+                        .with_seed(PERF_SEED)
+                        .with_time_points(24)
+                        .with_positivity_rate(0.1),
+                )
+            })
+            .collect()
+    } else {
+        let divisor = bench::scale_divisor();
+        [ScaleFactor::G1, ScaleFactor::G2, ScaleFactor::G3]
+            .into_iter()
+            .map(|scale| {
+                (scale.name().to_owned(), scale.scaled_config(divisor).with_seed(PERF_SEED))
+            })
+            .collect()
+    }
+}
+
+fn matrix_queries(smoke: bool) -> Vec<QueryId> {
+    if smoke {
+        // One purely structural query, one structural join, one temporal query.
+        vec![QueryId::Q1, QueryId::Q5, QueryId::Q9]
+    } else {
+        QueryId::ALL.to_vec()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("tpath-perf: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scales = matrix_scales(args.smoke);
+    let queries = matrix_queries(args.smoke);
+
+    println!(
+        "# tpath-perf label={} smoke={} threads={:?} ({} workloads)",
+        args.label,
+        args.smoke,
+        args.threads,
+        scales.len() * queries.len() * JoinStrategy::ALL.len() * args.threads.len(),
+    );
+
+    // output_rows per (scale, query, threads) cell, used to assert strategy
+    // agreement.
+    type Cell = (String, &'static str, usize);
+    let mut workloads: Vec<Json> = Vec::new();
+    let mut row_counts: BTreeMap<Cell, Vec<(JoinStrategy, usize)>> = BTreeMap::new();
+    for (scale_name, config) in &scales {
+        let (graph, report) = bench::build_graph_with(config.clone());
+        println!(
+            "# {scale_name}: {} persons, {} temporal nodes, {} temporal edges \
+             (generate {:.2}s, load {:.2}s)",
+            report.persons,
+            report.temporal_nodes,
+            report.temporal_edges,
+            report.generate_seconds,
+            report.load_seconds
+        );
+        for &threads in &args.threads {
+            for &query in &queries {
+                for strategy in JoinStrategy::ALL {
+                    let options = ExecutionOptions::with_threads(threads).with_strategy(strategy);
+                    let m = bench::measure(query, &graph, &options);
+                    println!(
+                        "{scale_name} {} {} t={threads}: total {:.4}s, interval {:.4}s, \
+                         {} interval rows, {} output rows",
+                        query.name(),
+                        strategy,
+                        m.total_seconds,
+                        m.interval_seconds,
+                        m.interval_rows,
+                        m.output_size
+                    );
+                    row_counts
+                        .entry((scale_name.clone(), query.name(), threads))
+                        .or_default()
+                        .push((strategy, m.output_size));
+                    workloads.push(Json::obj([
+                        ("scale", Json::str(scale_name.clone())),
+                        ("persons", Json::UInt(report.persons as u64)),
+                        ("temporal_nodes", Json::UInt(report.temporal_nodes as u64)),
+                        ("temporal_edges", Json::UInt(report.temporal_edges as u64)),
+                        ("query", Json::str(query.name())),
+                        ("strategy", Json::str(strategy.name())),
+                        ("threads", Json::UInt(threads as u64)),
+                        ("interval_seconds", Json::Float(m.interval_seconds)),
+                        ("total_seconds", Json::Float(m.total_seconds)),
+                        ("interval_rows", Json::UInt(m.interval_rows as u64)),
+                        ("output_rows", Json::UInt(m.output_size as u64)),
+                    ]));
+                }
+            }
+        }
+    }
+
+    let mut disagreements = 0usize;
+    for ((scale, query, threads), counts) in &row_counts {
+        let reference = counts[0].1;
+        for (strategy, rows) in counts {
+            if *rows != reference {
+                eprintln!(
+                    "tpath-perf: {scale}/{query}/t={threads}: {strategy} produced {rows} \
+                     output rows but {} produced {reference}",
+                    counts[0].0
+                );
+                disagreements += 1;
+            }
+        }
+    }
+
+    let created_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| Json::UInt(d.as_secs()))
+        .unwrap_or(Json::Null);
+    let report = Json::obj([
+        ("schema_version", Json::UInt(1)),
+        ("label", Json::str(args.label.clone())),
+        ("created_unix", created_unix),
+        ("smoke", Json::Bool(args.smoke)),
+        ("seed", Json::UInt(PERF_SEED)),
+        (
+            "scale_divisor",
+            if args.smoke { Json::Null } else { Json::UInt(bench::scale_divisor() as u64) },
+        ),
+        (
+            "host",
+            Json::obj([(
+                "available_threads",
+                Json::UInt(
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64
+                ),
+            )]),
+        ),
+        ("strategies_agree", Json::Bool(disagreements == 0)),
+        ("peak_rss_bytes", bench::peak_rss_bytes().map(Json::UInt).unwrap_or(Json::Null)),
+        ("workloads", Json::Arr(workloads)),
+    ]);
+
+    let path = format!("{}/BENCH_{}.json", args.out_dir.trim_end_matches('/'), args.label);
+    if let Err(error) = std::fs::write(&path, report.render()) {
+        eprintln!("tpath-perf: cannot write {path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("# wrote {path}");
+
+    if disagreements > 0 {
+        eprintln!("tpath-perf: FAILED — {disagreements} strategy disagreement(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -10,21 +10,40 @@
 
 use std::time::Instant;
 
-use engine::{ExecutionOptions, GraphRelations};
+use engine::{ExecutionOptions, GraphRelations, JoinStrategy};
 use trpq::queries::QueryId;
 use workload::{ContactTracingConfig, ScaleFactor};
+
+pub mod json;
 
 /// The scale divisor taken from `TPATH_SCALE_DIVISOR` (default 25).
 pub fn scale_divisor() -> usize {
     std::env::var("TPATH_SCALE_DIVISOR").ok().and_then(|s| s.parse().ok()).unwrap_or(25)
 }
 
-/// The execution options taken from `TPATH_THREADS` (default: all cores).
+/// The join strategy taken from `TPATH_JOIN_STRATEGY` (`hash` | `merge` | `auto`,
+/// default `auto`).
+pub fn join_strategy() -> JoinStrategy {
+    std::env::var("TPATH_JOIN_STRATEGY").ok().and_then(|s| s.parse().ok()).unwrap_or_default()
+}
+
+/// The execution options taken from `TPATH_THREADS` (default: all cores) and
+/// `TPATH_JOIN_STRATEGY` (default: auto).
 pub fn execution_options() -> ExecutionOptions {
-    match std::env::var("TPATH_THREADS").ok().and_then(|s| s.parse().ok()) {
+    let options = match std::env::var("TPATH_THREADS").ok().and_then(|s| s.parse().ok()) {
         Some(threads) => ExecutionOptions::with_threads(threads),
         None => ExecutionOptions::default(),
-    }
+    };
+    options.with_strategy(join_strategy())
+}
+
+/// The peak resident set size of this process in bytes (`VmHWM`), if the platform
+/// exposes it through `/proc/self/status`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// The generator configuration for one scale factor under the current divisor.
@@ -89,6 +108,8 @@ pub struct QueryMeasurement {
     pub interval_seconds: f64,
     /// Total time (Steps 1–3), in seconds.
     pub total_seconds: f64,
+    /// Number of interval-level intermediate matches after Steps 1–2.
+    pub interval_rows: usize,
     /// Output size in binding-table rows.
     pub output_size: usize,
 }
@@ -104,6 +125,7 @@ pub fn measure(
         query: id,
         interval_seconds: out.stats.interval_time.as_secs_f64(),
         total_seconds: out.stats.total_time.as_secs_f64(),
+        interval_rows: out.stats.interval_rows,
         output_size: out.stats.output_rows,
     }
 }
@@ -136,5 +158,10 @@ mod tests {
     fn environment_defaults_are_sane() {
         assert!(scale_divisor() >= 1);
         assert!(execution_options().parallelism.threads() >= 1);
+        // TPATH_JOIN_STRATEGY is unset in the test environment, so the adaptive
+        // default applies.
+        assert_eq!(join_strategy(), JoinStrategy::Auto);
+        // Peak RSS is best-effort: Some on Linux, None elsewhere — never a panic.
+        let _ = peak_rss_bytes();
     }
 }

@@ -5,35 +5,30 @@
 //! invariant after joins and unions, mirroring the "temporally coalesced" result
 //! tables of Section VI.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use tgraph::Interval;
 
-use tgraph::{Interval, IntervalSet};
+use crate::sorted::coalesce_sorted;
 
 /// Coalesces `(key, interval)` rows: rows with the same key whose intervals overlap or
 /// meet are merged into maximal intervals.  The output is sorted by key and interval.
-pub fn coalesce<K>(rows: Vec<(K, Interval)>) -> Vec<(K, Interval)>
+///
+/// Implemented as sort + one linear coalescing pass; inputs that are already sorted by
+/// `(key, interval.start)` can skip the sort by calling
+/// [`coalesce_sorted`] directly, and several sorted
+/// runs can be combined with [`crate::sorted::coalesce_kway`].
+pub fn coalesce<K>(mut rows: Vec<(K, Interval)>) -> Vec<(K, Interval)>
 where
-    K: Eq + Hash + Ord + Clone,
+    K: Ord + Clone,
 {
-    let mut by_key: HashMap<K, Vec<Interval>> = HashMap::new();
-    for (key, interval) in rows {
-        by_key.entry(key).or_default().push(interval);
-    }
-    let mut out: Vec<(K, Interval)> = Vec::new();
-    for (key, intervals) in by_key {
-        let set = IntervalSet::from_intervals(intervals);
-        out.extend(set.intervals().iter().map(|iv| (key.clone(), *iv)));
-    }
-    out.sort();
-    out
+    rows.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    coalesce_sorted(rows)
 }
 
 /// The total number of time points covered by a set of keyed interval rows,
 /// counting each `(key, time point)` pair once.
 pub fn point_count<K>(rows: &[(K, Interval)]) -> u64
 where
-    K: Eq + Hash + Ord + Clone,
+    K: Ord + Clone,
 {
     coalesce(rows.to_vec()).iter().map(|(_, iv)| iv.num_points()).sum()
 }

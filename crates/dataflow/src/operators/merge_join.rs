@@ -1,0 +1,199 @@
+//! Sort-merge joins over key-sorted slices.
+//!
+//! The merge join is the order-exploiting counterpart of [`crate::operators::join`]:
+//! when both inputs are sorted by the join key, a single linear pass pairs up the
+//! matching key groups without building a hash table.  The interval variant keeps only
+//! temporally-aligned matches, exactly like `interval_hash_join`, and is the engine's
+//! `JoinStrategy::Merge` implementation.
+
+use tgraph::Interval;
+
+/// True if `key` is non-decreasing over `items` — the precondition of the merge joins.
+pub fn is_key_sorted<T, K, F>(items: &[T], key: F) -> bool
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    items.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
+/// Plain equi merge join: returns every pair of left and right rows with equal keys.
+///
+/// Both inputs **must** be sorted by their key (checked with a debug assertion); the
+/// output is produced in left-major order (left groups in key order, the pairs of one
+/// group in right order).  The result multiset is identical to
+/// [`crate::operators::join::hash_join`] on the same inputs.
+pub fn merge_join<'a, L, R, K, FL, FR>(
+    left: &'a [L],
+    right: &'a [R],
+    left_key: FL,
+    right_key: FR,
+) -> Vec<(&'a L, &'a R)>
+where
+    K: Ord,
+    FL: Fn(&L) -> K,
+    FR: Fn(&R) -> K,
+{
+    debug_assert!(is_key_sorted(left, &left_key), "merge_join: left input not key-sorted");
+    debug_assert!(is_key_sorted(right, &right_key), "merge_join: right input not key-sorted");
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        let lk = left_key(&left[i]);
+        let rk = right_key(&right[j]);
+        if lk < rk {
+            i += 1;
+        } else if lk > rk {
+            j += 1;
+        } else {
+            // Delimit the two key groups and emit their cross product.
+            let i_end = group_end(left, i, &left_key);
+            let j_end = group_end(right, j, &right_key);
+            for l in &left[i..i_end] {
+                for r in &right[j..j_end] {
+                    out.push((l, r));
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// Temporally-aligned merge join: joins key-sorted rows with equal keys whose validity
+/// intervals intersect, producing the intersection as the validity interval of the
+/// output row.  The merge counterpart of
+/// [`crate::operators::join::interval_hash_join`].
+pub fn interval_merge_join<'a, L, R, K, FL, FR, IL, IR>(
+    left: &'a [L],
+    right: &'a [R],
+    left_key: FL,
+    right_key: FR,
+    left_interval: IL,
+    right_interval: IR,
+) -> Vec<(&'a L, &'a R, Interval)>
+where
+    K: Ord,
+    FL: Fn(&L) -> K,
+    FR: Fn(&R) -> K,
+    IL: Fn(&L) -> Interval,
+    IR: Fn(&R) -> Interval,
+{
+    merge_join(left, right, left_key, right_key)
+        .into_iter()
+        .filter_map(|(l, r)| left_interval(l).intersect(&right_interval(r)).map(|iv| (l, r, iv)))
+        .collect()
+}
+
+fn group_end<T, K, F>(items: &[T], start: usize, key: &F) -> usize
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let k = key(&items[start]);
+    let mut end = start + 1;
+    while end < items.len() && key(&items[end]) == k {
+        end += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::join::{hash_join, interval_hash_join};
+
+    #[derive(Debug, PartialEq)]
+    struct Row {
+        key: u32,
+        interval: Interval,
+        payload: &'static str,
+    }
+
+    fn row(key: u32, a: u64, b: u64, payload: &'static str) -> Row {
+        Row { key, interval: Interval::of(a, b), payload }
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join_on_sorted_inputs() {
+        let left =
+            vec![row(1, 0, 5, "l1"), row(2, 0, 5, "l2"), row(2, 6, 9, "l2b"), row(4, 0, 9, "l4")];
+        let right = vec![row(2, 0, 9, "r2"), row(2, 3, 4, "r2b"), row(3, 0, 9, "r3")];
+        let mut merged: Vec<(&'static str, &'static str)> =
+            merge_join(&left, &right, |l| l.key, |r| r.key)
+                .into_iter()
+                .map(|(l, r)| (l.payload, r.payload))
+                .collect();
+        let mut hashed: Vec<(&'static str, &'static str)> =
+            hash_join(&left, &right, |l| l.key, |r| r.key)
+                .into_iter()
+                .map(|(l, r)| (l.payload, r.payload))
+                .collect();
+        merged.sort_unstable();
+        hashed.sort_unstable();
+        assert_eq!(merged, hashed);
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn interval_merge_join_intersects_validity() {
+        let people =
+            vec![row(10, 1, 9, "ann"), row(20, 1, 4, "bob-low"), row(20, 5, 9, "bob-high")];
+        let meets = vec![row(20, 3, 3, "cafe"), row(20, 5, 6, "park")];
+        let joined = interval_merge_join(
+            &people,
+            &meets,
+            |p| p.key,
+            |m| m.key,
+            |p| p.interval,
+            |m| m.interval,
+        );
+        let mut described: Vec<(&str, &str, Interval)> =
+            joined.iter().map(|(p, m, iv)| (p.payload, m.payload, *iv)).collect();
+        described.sort_unstable();
+        let mut expected = interval_hash_join(
+            &people,
+            &meets,
+            |p| p.key,
+            |m| m.key,
+            |p| p.interval,
+            |m| m.interval,
+        )
+        .into_iter()
+        .map(|(p, m, iv)| (p.payload, m.payload, iv))
+        .collect::<Vec<_>>();
+        expected.sort_unstable();
+        assert_eq!(described, expected);
+        assert_eq!(
+            described,
+            vec![("bob-high", "park", Interval::of(5, 6)), ("bob-low", "cafe", Interval::of(3, 3))]
+        );
+    }
+
+    #[test]
+    fn empty_and_disjoint_inputs() {
+        let left = vec![row(1, 0, 2, "l")];
+        let right: Vec<Row> = Vec::new();
+        assert!(merge_join(&left, &right, |l| l.key, |r| r.key).is_empty());
+        let right = vec![row(1, 3, 5, "r")];
+        // Keys join but the intervals are disjoint.
+        assert_eq!(merge_join(&left, &right, |l| l.key, |r| r.key).len(), 1);
+        assert!(interval_merge_join(
+            &left,
+            &right,
+            |l| l.key,
+            |r| r.key,
+            |l| l.interval,
+            |r| r.interval
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sortedness_predicate() {
+        assert!(is_key_sorted(&[1, 1, 2, 5], |&x| x));
+        assert!(!is_key_sorted(&[1, 3, 2], |&x| x));
+        assert!(is_key_sorted::<u32, u32, _>(&[], |&x| x));
+    }
+}

@@ -2,6 +2,8 @@
 
 pub mod coalesce;
 pub mod join;
+pub mod merge_join;
 
 pub use coalesce::{coalesce, point_count};
 pub use join::{hash_join, interval_hash_join};
+pub use merge_join::{interval_merge_join, is_key_sorted, merge_join};

@@ -45,18 +45,22 @@ impl Default for Parallelism {
 
 /// Applies `op` to roughly equal chunks of `items` in parallel and concatenates the
 /// results in chunk order.  The operator receives each chunk as a slice.
+///
+/// Produces exactly `min(threads, items.len())` chunks whose sizes differ by at most
+/// one, so every worker gets work and no worker gets a disproportionate share (a
+/// ceiling-division chunk size can leave workers idle — e.g. 9 items over 4 threads
+/// used to become three chunks of 3 with one thread unused).
 pub fn par_chunk_flat_map<T, U, F>(items: &[T], parallelism: Parallelism, op: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&[T]) -> Vec<U> + Sync,
 {
-    let threads = parallelism.threads().min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    let threads = parallelism.threads().min(items.len());
+    if threads <= 1 {
         return op(items);
     }
-    let chunk_size = items.len().div_ceil(threads);
-    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let chunks = balanced_chunks(items, threads);
     let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
     crossbeam::scope(|scope| {
         let handles: Vec<_> = chunks.iter().map(|chunk| scope.spawn(|_| op(chunk))).collect();
@@ -70,6 +74,23 @@ where
     for r in results {
         out.extend(r);
     }
+    out
+}
+
+/// Splits `items` into exactly `chunks` non-empty slices whose lengths differ by at
+/// most one, preserving order.  Requires `1 <= chunks <= items.len()`.
+fn balanced_chunks<T>(items: &[T], chunks: usize) -> Vec<&[T]> {
+    debug_assert!(chunks >= 1 && chunks <= items.len());
+    let base = items.len() / chunks;
+    let remainder = items.len() % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for index in 0..chunks {
+        let size = base + usize::from(index < remainder);
+        out.push(&items[start..start + size]);
+        start += size;
+    }
+    debug_assert_eq!(start, items.len());
     out
 }
 
@@ -140,6 +161,39 @@ mod tests {
         let expanded = par_flat_map(&items, p, |x| vec![*x, *x]);
         assert_eq!(expanded.len(), 200);
         assert_eq!(&expanded[0..4], &[0, 0, 1, 1]);
+    }
+
+    /// Records the chunk sizes `par_chunk_flat_map` actually hands to workers.
+    fn observed_chunk_sizes(len: usize, threads: usize) -> Vec<usize> {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let sizes = std::sync::Mutex::new(Vec::new());
+        let result = par_chunk_flat_map(&items, Parallelism::with_threads(threads), |chunk| {
+            sizes.lock().unwrap().push(chunk.len());
+            chunk.to_vec()
+        });
+        assert_eq!(result, items, "len={len} threads={threads}");
+        let mut sizes = sizes.into_inner().unwrap();
+        sizes.sort_unstable();
+        sizes
+    }
+
+    #[test]
+    fn chunks_are_balanced_and_use_every_worker() {
+        // Regression: ceiling-division sizing used to produce fewer chunks than
+        // workers (9 items / 4 threads -> three chunks of 3) and, in the worst case,
+        // one oversized chunk for everything.
+        assert_eq!(observed_chunk_sizes(9, 4), vec![2, 2, 2, 3]);
+        assert_eq!(observed_chunk_sizes(5, 4), vec![1, 1, 1, 2]);
+        assert_eq!(observed_chunk_sizes(1000, 3), vec![333, 333, 334]);
+        // Small inputs: one chunk of one item per worker that can be fed.
+        assert_eq!(observed_chunk_sizes(3, 16), vec![1, 1, 1]);
+        for (len, threads) in [(2, 2), (7, 7), (64, 5), (100, 64)] {
+            let sizes = observed_chunk_sizes(len, threads);
+            assert_eq!(sizes.len(), len.min(threads), "len={len} threads={threads}");
+            assert_eq!(sizes.iter().sum::<usize>(), len);
+            assert!(sizes.last().unwrap() - sizes.first().unwrap() <= 1);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
     }
 
     #[test]

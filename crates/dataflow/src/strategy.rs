@@ -1,0 +1,116 @@
+//! Join-strategy selection: the engine knob that picks between the hash-based and the
+//! sort-merge-based implementations of temporally-aligned joins.
+//!
+//! The paper's engine (Section VI) evaluates structural navigation with in-memory
+//! joins over interval relations.  Two physical implementations are available:
+//!
+//! * **Hash** — probe a hash (or precomputed per-key) index of one side with the rows
+//!   of the other ([`crate::operators::join`]).  Insensitive to input order.
+//! * **Merge** — a linear sort-merge pass over two inputs that are both sorted by the
+//!   join key ([`mod@crate::operators::merge_join`]).  Cache-friendly and allocation-free
+//!   on the probe path, but only correct on key-sorted inputs.
+//!
+//! [`JoinStrategy::Auto`] resolves the choice per join from the actual sortedness of
+//! the inputs: merge when both sides are already key-sorted (as the engine's seed-row
+//! expansion naturally produces), hash otherwise.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How temporally-aligned joins should be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinStrategy {
+    /// Always probe a hash / per-key index.
+    Hash,
+    /// Always sort-merge; inputs that are not key-sorted are sorted first.
+    Merge,
+    /// Pick per join: merge when the inputs are already key-sorted, hash otherwise.
+    #[default]
+    Auto,
+}
+
+/// The concrete algorithm chosen for one join after [`JoinStrategy::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolvedJoin {
+    /// Probe a hash / per-key index.
+    Hash,
+    /// Linear merge over key-sorted inputs.
+    Merge,
+}
+
+impl JoinStrategy {
+    /// Resolves the strategy for one join, given whether the join inputs are already
+    /// sorted by the join key.
+    ///
+    /// `Hash` and `Merge` are unconditional; `Auto` picks merge exactly when the
+    /// inputs are sorted (so no extra sort is ever paid on the auto path).
+    pub fn resolve(self, inputs_key_sorted: bool) -> ResolvedJoin {
+        match self {
+            JoinStrategy::Hash => ResolvedJoin::Hash,
+            JoinStrategy::Merge => ResolvedJoin::Merge,
+            JoinStrategy::Auto => {
+                if inputs_key_sorted {
+                    ResolvedJoin::Merge
+                } else {
+                    ResolvedJoin::Hash
+                }
+            }
+        }
+    }
+
+    /// The lower-case name used in benchmark output and environment variables.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinStrategy::Hash => "hash",
+            JoinStrategy::Merge => "merge",
+            JoinStrategy::Auto => "auto",
+        }
+    }
+
+    /// All strategies, in the order benchmark matrices sweep them.
+    pub const ALL: [JoinStrategy; 3] =
+        [JoinStrategy::Hash, JoinStrategy::Merge, JoinStrategy::Auto];
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for JoinStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hash" => Ok(JoinStrategy::Hash),
+            "merge" => Ok(JoinStrategy::Merge),
+            "auto" => Ok(JoinStrategy::Auto),
+            other => Err(format!("unknown join strategy {other:?} (expected hash|merge|auto)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_honours_sortedness_only_for_auto() {
+        assert_eq!(JoinStrategy::Hash.resolve(true), ResolvedJoin::Hash);
+        assert_eq!(JoinStrategy::Merge.resolve(false), ResolvedJoin::Merge);
+        assert_eq!(JoinStrategy::Auto.resolve(true), ResolvedJoin::Merge);
+        assert_eq!(JoinStrategy::Auto.resolve(false), ResolvedJoin::Hash);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for strategy in JoinStrategy::ALL {
+            assert_eq!(strategy.name().parse::<JoinStrategy>().unwrap(), strategy);
+        }
+        assert_eq!("MERGE".parse::<JoinStrategy>().unwrap(), JoinStrategy::Merge);
+        assert!("nested-loop".parse::<JoinStrategy>().is_err());
+        assert_eq!(JoinStrategy::default(), JoinStrategy::Auto);
+        assert_eq!(JoinStrategy::Auto.to_string(), "auto");
+    }
+}

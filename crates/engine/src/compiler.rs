@@ -9,6 +9,7 @@
 //! [`QueryError::UnsupportedFragment`]; the reference evaluators in the `trpq` crate
 //! cover the full language on point-timestamped graphs.
 
+use dataflow::JoinStrategy;
 use trpq::ast::Axis;
 use trpq::parser::{
     Direction, EdgePattern, MatchClause, NodePattern, PatternPart, Regex, RegexAtom, RegexItem,
@@ -17,8 +18,17 @@ use trpq::{QueryError, Result};
 
 use crate::plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
 
-/// Compiles a parsed clause into a set of engine plans (one per union alternative).
+/// Compiles a parsed clause into a set of engine plans (one per union alternative),
+/// leaving the join strategy adaptive (`Auto`).
 pub fn compile(clause: &MatchClause) -> Result<PlanSet> {
+    compile_with_strategy(clause, JoinStrategy::Auto)
+}
+
+/// Compiles a parsed clause and bakes a join strategy into the plan set, so callers
+/// that pre-compile queries can pin the physical join implementation once instead of
+/// deciding per execution.  [`ExecutionOptions`](crate::executor::ExecutionOptions)
+/// with a non-`Auto` strategy still takes precedence at run time.
+pub fn compile_with_strategy(clause: &MatchClause, strategy: JoinStrategy) -> Result<PlanSet> {
     // Assign variable slots in order of first appearance.
     let mut variables: Vec<String> = Vec::new();
     for part in &clause.parts {
@@ -52,7 +62,7 @@ pub fn compile(clause: &MatchClause) -> Result<PlanSet> {
     }
 
     let plans = alternatives.into_iter().map(assemble_plan).collect::<Result<Vec<_>>>()?;
-    Ok(PlanSet { plans, variables, graph: clause.graph.clone() })
+    Ok(PlanSet { plans, variables, graph: clause.graph.clone(), join_strategy: strategy })
 }
 
 /// Intermediate op used during compilation: either a structural micro-op or a

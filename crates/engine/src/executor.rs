@@ -5,17 +5,17 @@
 
 use std::time::{Duration, Instant};
 
-use dataflow::{par_chunk_flat_map, Parallelism};
+use dataflow::{kway_merge_dedup, par_chunk_flat_map, JoinStrategy, Parallelism};
 use trpq::parser::MatchClause;
 use trpq::queries::QueryId;
 use trpq::Result;
 
-use crate::bindings::BindingTable;
+use crate::bindings::{Binding, BindingTable};
 use crate::chain::Chain;
 use crate::compiler::compile;
 use crate::plan::{EnginePlan, PlanSet};
 use crate::relations::GraphRelations;
-use crate::steps::expand::expand_chains;
+use crate::steps::expand::{expand_chains, expand_chunk_sorted};
 use crate::steps::structural::apply_segment;
 use crate::steps::temporal::apply_shift;
 
@@ -24,23 +24,38 @@ use crate::steps::temporal::apply_shift;
 pub struct ExecutionOptions {
     /// Degree of data parallelism for the interval evaluation and the point expansion.
     pub parallelism: Parallelism,
+    /// How the temporally-aligned joins of the structural step are executed, and
+    /// whether the final binding table is assembled by k-way-merging sorted runs
+    /// (merge / auto) or by sorting the concatenated rows (hash).  `Auto` (the
+    /// default) defers to the strategy compiled into the plan set, deciding per join
+    /// from input sortedness when that one is `Auto` too.
+    pub join_strategy: JoinStrategy,
 }
 
 impl Default for ExecutionOptions {
     fn default() -> Self {
-        ExecutionOptions { parallelism: Parallelism::available() }
+        ExecutionOptions {
+            parallelism: Parallelism::available(),
+            join_strategy: JoinStrategy::Auto,
+        }
     }
 }
 
 impl ExecutionOptions {
     /// Runs everything on the calling thread.
     pub fn sequential() -> Self {
-        ExecutionOptions { parallelism: Parallelism::sequential() }
+        ExecutionOptions { parallelism: Parallelism::sequential(), ..Default::default() }
     }
 
     /// Uses exactly `threads` worker threads.
     pub fn with_threads(threads: usize) -> Self {
-        ExecutionOptions { parallelism: Parallelism::with_threads(threads) }
+        ExecutionOptions { parallelism: Parallelism::with_threads(threads), ..Default::default() }
+    }
+
+    /// Pins the join strategy, overriding whatever the plan set was compiled with.
+    pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
+        self
     }
 }
 
@@ -69,31 +84,58 @@ pub struct QueryOutput {
     pub stats: QueryStats,
 }
 
+/// The join strategy in effect for one execution: the options take precedence unless
+/// left at `Auto`, in which case the strategy compiled into the plan set applies (and
+/// `Auto` there means per-join adaptive selection).
+fn effective_strategy(plan_set: &PlanSet, options: &ExecutionOptions) -> JoinStrategy {
+    match options.join_strategy {
+        JoinStrategy::Auto => plan_set.join_strategy,
+        pinned => pinned,
+    }
+}
+
 /// Executes a compiled plan set over a graph.
 pub fn execute(
     plan_set: &PlanSet,
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryOutput {
+    let strategy = effective_strategy(plan_set, options);
     let start = Instant::now();
     // Steps 1 and 2: interval-based evaluation of every union alternative.
-    let per_plan_chains: Vec<Vec<Chain>> =
-        plan_set.plans.iter().map(|plan| run_plan(plan, graph, options.parallelism)).collect();
+    let per_plan_chains: Vec<Vec<Chain>> = plan_set
+        .plans
+        .iter()
+        .map(|plan| run_plan(plan, graph, options.parallelism, strategy))
+        .collect();
     let interval_time = start.elapsed();
     let interval_rows = per_plan_chains.iter().map(Vec::len).sum();
 
     // Step 3: expansion into the final binding table.
     let num_slots = plan_set.variables.len();
     let mut table = BindingTable::new(plan_set.variables.clone());
-    for (plan, chains) in plan_set.plans.iter().zip(&per_plan_chains) {
-        let chunk_tables = par_chunk_flat_map(chains, options.parallelism, |chunk| {
-            let mut partial = BindingTable::new(plan_set.variables.clone());
-            expand_chains(plan, num_slots, chunk, &mut partial);
-            partial.rows
-        });
-        table.rows.extend(chunk_tables);
+    if strategy == JoinStrategy::Hash {
+        // Hash path: concatenate the per-chunk rows and sort the result once.
+        for (plan, chains) in plan_set.plans.iter().zip(&per_plan_chains) {
+            let chunk_tables = par_chunk_flat_map(chains, options.parallelism, |chunk| {
+                let mut partial = BindingTable::new(plan_set.variables.clone());
+                expand_chains(plan, num_slots, chunk, &mut partial);
+                partial.rows
+            });
+            table.rows.extend(chunk_tables);
+        }
+        table.sort_dedup();
+    } else {
+        // Sorted path: every worker emits an ordered, deduplicated run; the final
+        // table is their k-way merge, so the post-union sort disappears.
+        let mut runs: Vec<Vec<Vec<Binding>>> = Vec::new();
+        for (plan, chains) in plan_set.plans.iter().zip(&per_plan_chains) {
+            runs.extend(par_chunk_flat_map(chains, options.parallelism, |chunk| {
+                vec![expand_chunk_sorted(plan, &plan_set.variables, num_slots, chunk)]
+            }));
+        }
+        table.rows = kway_merge_dedup(runs);
     }
-    table.sort_dedup();
     let total_time = start.elapsed();
     let output_rows = table.len();
 
@@ -135,8 +177,15 @@ pub fn execute_query(
 
 /// Runs Steps 1–2 of a single plan: seeds the first segment with every node row
 /// (chunked across worker threads), then alternates structural segments and temporal
-/// shifts.
-fn run_plan(plan: &EnginePlan, graph: &GraphRelations, parallelism: Parallelism) -> Vec<Chain> {
+/// shifts.  The seed rows of every chunk are ascending node-row indices, so the first
+/// hop of each chunk sees key-sorted input — which is what lets `Auto` start on the
+/// merge path.
+fn run_plan(
+    plan: &EnginePlan,
+    graph: &GraphRelations,
+    parallelism: Parallelism,
+    strategy: JoinStrategy,
+) -> Vec<Chain> {
     let seed_rows: Vec<u32> = (0..graph.node_rows().len() as u32).collect();
     par_chunk_flat_map(&seed_rows, parallelism, |rows| {
         let mut chains: Vec<Chain> = rows.iter().map(|&r| Chain::seed(r, graph)).collect();
@@ -144,7 +193,7 @@ fn run_plan(plan: &EnginePlan, graph: &GraphRelations, parallelism: Parallelism)
             if index > 0 {
                 chains = apply_shift(graph, chains, &plan.shifts[index - 1]);
             }
-            chains = apply_segment(graph, chains, segment);
+            chains = apply_segment(graph, chains, segment, strategy);
             if chains.is_empty() {
                 break;
             }
@@ -298,5 +347,46 @@ mod tests {
             let out = execute_query(id, &g, &ExecutionOptions::sequential());
             assert_eq!(out.stats.output_rows, out.table.len(), "{}", id.name());
         }
+    }
+
+    #[test]
+    fn join_strategies_produce_identical_tables() {
+        let g = relations();
+        for id in QueryId::ALL {
+            let hash = execute_query(
+                id,
+                &g,
+                &ExecutionOptions::sequential().with_strategy(JoinStrategy::Hash),
+            );
+            for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+                let alt =
+                    execute_query(id, &g, &ExecutionOptions::sequential().with_strategy(strategy));
+                assert_eq!(hash.table, alt.table, "{} under {strategy}", id.name());
+                assert_eq!(
+                    hash.stats.interval_rows,
+                    alt.stats.interval_rows,
+                    "{} under {strategy}",
+                    id.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_strategy_applies_unless_options_override() {
+        let g = relations();
+        let clause = trpq::parser::parse_match("MATCH (x:Person {risk = 'high'}) ON g").unwrap();
+        let merge_planned =
+            crate::compiler::compile_with_strategy(&clause, JoinStrategy::Merge).unwrap();
+        assert_eq!(merge_planned.join_strategy, JoinStrategy::Merge);
+        // Options left at Auto defer to the plan; pinning them overrides it.
+        let deferred = execute(&merge_planned, &g, &ExecutionOptions::sequential());
+        let overridden = execute(
+            &merge_planned,
+            &g,
+            &ExecutionOptions::sequential().with_strategy(JoinStrategy::Hash),
+        );
+        assert_eq!(deferred.table, overridden.table);
+        assert_eq!(compile(&clause).unwrap().join_strategy, JoinStrategy::Auto);
     }
 }

@@ -38,7 +38,8 @@ pub mod relations;
 pub mod steps;
 
 pub use bindings::{Binding, BindingTable, TimeRef};
-pub use compiler::compile;
+pub use compiler::{compile, compile_with_strategy};
+pub use dataflow::JoinStrategy;
 pub use executor::{
     execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats,
 };

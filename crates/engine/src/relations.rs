@@ -88,6 +88,11 @@ pub struct GraphRelations {
     edge_rows_by_tgt: Vec<Vec<u32>>,
     node_existence: Vec<IntervalSet>,
     edge_existence: Vec<IntervalSet>,
+    // Key-sorted permutations of the two relations, precomputed at load time so
+    // merge joins can scan them without sorting (see the `sorted_*` accessors).
+    node_rows_by_id_sorted: Vec<u32>,
+    edge_rows_by_src_sorted: Vec<u32>,
+    edge_rows_by_tgt_sorted: Vec<u32>,
 }
 
 impl GraphRelations {
@@ -147,6 +152,16 @@ impl GraphRelations {
             }
         }
 
+        // Flatten the adjacency lists into key-sorted permutations.  The lists are
+        // already grouped by ascending key; within one key group the rows are ordered
+        // by interval start (ties broken by row index for determinism).
+        let node_rows_by_id_sorted =
+            sorted_permutation(&node_rows_by_id, |r| nodes[r as usize].interval);
+        let edge_rows_by_src_sorted =
+            sorted_permutation(&edge_rows_by_src, |r| edges[r as usize].interval);
+        let edge_rows_by_tgt_sorted =
+            sorted_permutation(&edge_rows_by_tgt, |r| edges[r as usize].interval);
+
         GraphRelations {
             domain: graph.domain(),
             nodes,
@@ -159,6 +174,9 @@ impl GraphRelations {
             edge_rows_by_tgt,
             node_existence,
             edge_existence,
+            node_rows_by_id_sorted,
+            edge_rows_by_src_sorted,
+            edge_rows_by_tgt_sorted,
         }
     }
 
@@ -195,6 +213,22 @@ impl GraphRelations {
     /// Row indices of edges whose target is the given node.
     pub fn in_edge_rows(&self, node: NodeId) -> &[u32] {
         &self.edge_rows_by_tgt[node.index()]
+    }
+
+    /// Row indices of the Nodes relation sorted by `(node id, interval start)` — the
+    /// key-sorted permutation merge joins scan when hopping onto nodes.
+    pub fn node_rows_sorted_by_id(&self) -> &[u32] {
+        &self.node_rows_by_id_sorted
+    }
+
+    /// Row indices of the Edges relation sorted by `(source node, interval start)`.
+    pub fn edge_rows_sorted_by_src(&self) -> &[u32] {
+        &self.edge_rows_by_src_sorted
+    }
+
+    /// Row indices of the Edges relation sorted by `(target node, interval start)`.
+    pub fn edge_rows_sorted_by_tgt(&self) -> &[u32] {
+        &self.edge_rows_by_tgt_sorted
     }
 
     /// The coalesced existence intervals of an object.
@@ -262,6 +296,18 @@ fn object_segments(graph: &Itpg, object: Object) -> Vec<Interval> {
         .filter(|w| existence.contains(w[0]))
         .map(|w| Interval::of(w[0], w[1] - 1))
         .collect()
+}
+
+/// Flattens per-key adjacency lists (indexed by ascending key) into one key-sorted
+/// row permutation, ordering each key group by interval start and then row index.
+fn sorted_permutation<F: Fn(u32) -> Interval>(by_key: &[Vec<u32>], interval: F) -> Vec<u32> {
+    let mut out = Vec::with_capacity(by_key.iter().map(Vec::len).sum());
+    for rows in by_key {
+        let mut group = rows.clone();
+        group.sort_by_key(|&r| (interval(r), r));
+        out.extend(group);
+    }
+    out
 }
 
 fn props_at(
@@ -338,6 +384,24 @@ mod tests {
         assert_eq!(stats.edges, 1);
         assert_eq!(stats.temporal_nodes, 3); // n1 has one state, n2 has two.
         assert_eq!(stats.temporal_edges, 2);
+    }
+
+    #[test]
+    fn sorted_permutations_cover_all_rows_in_key_order() {
+        let rel = GraphRelations::from_itpg(&sample());
+        let by_src = rel.edge_rows_sorted_by_tgt();
+        assert_eq!(by_src.len(), rel.edge_rows().len());
+        assert!(by_src.windows(2).all(|w| {
+            let (a, b) = (&rel.edge_rows()[w[0] as usize], &rel.edge_rows()[w[1] as usize]);
+            (a.tgt, a.interval.start()) <= (b.tgt, b.interval.start())
+        }));
+        let by_node = rel.node_rows_sorted_by_id();
+        assert_eq!(by_node.len(), rel.node_rows().len());
+        assert!(by_node.windows(2).all(|w| {
+            let (a, b) = (&rel.node_rows()[w[0] as usize], &rel.node_rows()[w[1] as usize]);
+            (a.node, a.interval.start()) <= (b.node, b.interval.start())
+        }));
+        assert_eq!(rel.edge_rows_sorted_by_src().len(), rel.edge_rows().len());
     }
 
     #[test]

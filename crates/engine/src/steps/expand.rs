@@ -27,6 +27,23 @@ pub fn expand_chains(
     }
 }
 
+/// Expands one chunk of chains into a sorted, deduplicated run of binding rows.
+///
+/// This is the unit of work on the executor's sorted (merge / auto join strategy)
+/// path: each parallel worker returns an ordered run, and the final binding table is
+/// assembled with a k-way merge of the runs instead of sorting their concatenation.
+pub fn expand_chunk_sorted(
+    plan: &EnginePlan,
+    columns: &[String],
+    num_slots: usize,
+    chains: &[Chain],
+) -> Vec<Vec<crate::bindings::Binding>> {
+    let mut partial = BindingTable::new(columns.to_vec());
+    expand_chains(plan, num_slots, chains, &mut partial);
+    partial.sort_dedup();
+    partial.rows
+}
+
 fn expand_chain(plan: &EnginePlan, num_slots: usize, chain: &Chain, table: &mut BindingTable) {
     if plan.is_purely_structural() {
         // All bindings share the chain's final interval, interpreted snapshot-wise.

@@ -2,20 +2,35 @@
 //! interval-timestamped relations.
 //!
 //! A segment is a select–project–join pipeline evaluated entirely on intervals: every
-//! hop joins the current rows with the adjacent Nodes/Edges rows through the adjacency
-//! indexes and intersects validity intervals ("temporally-aligned" matches), and every
-//! filter prunes rows and clamps intervals.
+//! hop is a temporally-aligned join between the current chains and the adjacent
+//! Nodes/Edges rows (equal adjacency keys, intersecting validity intervals), and every
+//! filter prunes rows and clamps intervals.  The physical join implementation is
+//! selected by a [`JoinStrategy`]:
+//!
+//! * `Hash` probes the per-node adjacency indexes built at load time (a hash join
+//!   whose build side is precomputed);
+//! * `Merge` runs a sort-merge join against the key-sorted row permutations of
+//!   [`GraphRelations`], sorting the chains by their join key first if needed;
+//! * `Auto` picks merge exactly when the chains are already key-sorted — which the
+//!   seed-row expansion naturally produces for the first hop — and hash otherwise.
+
+use dataflow::{interval_merge_join, is_key_sorted, JoinStrategy, ResolvedJoin};
 
 use crate::chain::{BoundVar, Chain, Position};
 use crate::plan::{HopDirection, MicroOp, ObjFilter, Segment};
 use crate::relations::GraphRelations;
 
 /// Applies every operation of a segment to the given chains, returning the surviving
-/// chains.
-pub fn apply_segment(graph: &GraphRelations, chains: Vec<Chain>, segment: &Segment) -> Vec<Chain> {
+/// chains.  Hops execute their joins according to `strategy`.
+pub fn apply_segment(
+    graph: &GraphRelations,
+    chains: Vec<Chain>,
+    segment: &Segment,
+    strategy: JoinStrategy,
+) -> Vec<Chain> {
     let mut current = chains;
     for op in &segment.ops {
-        current = apply_op(graph, current, op);
+        current = apply_op(graph, current, op, strategy);
         if current.is_empty() {
             break;
         }
@@ -23,7 +38,12 @@ pub fn apply_segment(graph: &GraphRelations, chains: Vec<Chain>, segment: &Segme
     current
 }
 
-fn apply_op(graph: &GraphRelations, chains: Vec<Chain>, op: &MicroOp) -> Vec<Chain> {
+fn apply_op(
+    graph: &GraphRelations,
+    chains: Vec<Chain>,
+    op: &MicroOp,
+    strategy: JoinStrategy,
+) -> Vec<Chain> {
     match op {
         MicroOp::Filter(filter) => {
             chains.into_iter().filter_map(|chain| apply_filter(graph, chain, filter)).collect()
@@ -39,12 +59,137 @@ fn apply_op(graph: &GraphRelations, chains: Vec<Chain>, op: &MicroOp) -> Vec<Cha
                 chain
             })
             .collect(),
-        MicroOp::Hop(direction) => {
-            let mut out = Vec::with_capacity(chains.len());
-            for chain in chains {
-                hop(graph, &chain, *direction, &mut out);
+        MicroOp::Hop(direction) => apply_hop(graph, chains, *direction, strategy),
+    }
+}
+
+/// One structural step for a whole batch of chains: node → incident edge, or edge →
+/// endpoint node, keeping only temporally-aligned matches (non-empty interval
+/// intersections).  A batch is homogeneous in position kind by construction (hops
+/// alternate between node and edge rows), but both kinds are handled for robustness.
+fn apply_hop(
+    graph: &GraphRelations,
+    chains: Vec<Chain>,
+    direction: HopDirection,
+    strategy: JoinStrategy,
+) -> Vec<Chain> {
+    let (node_chains, edge_chains): (Vec<Chain>, Vec<Chain>) =
+        chains.into_iter().partition(|c| matches!(c.position, Position::NodeRow(_)));
+    let mut out = Vec::with_capacity(node_chains.len() + edge_chains.len());
+    if !node_chains.is_empty() {
+        hop_from_nodes(graph, node_chains, direction, strategy, &mut out);
+    }
+    if !edge_chains.is_empty() {
+        hop_from_edges(graph, edge_chains, direction, strategy, &mut out);
+    }
+    out
+}
+
+/// Joins node-positioned chains with the Edges relation on the adjacency key
+/// (source node for forward hops, target node for backward hops).
+fn hop_from_nodes(
+    graph: &GraphRelations,
+    mut chains: Vec<Chain>,
+    direction: HopDirection,
+    strategy: JoinStrategy,
+    out: &mut Vec<Chain>,
+) {
+    let key = |c: &Chain| match c.position {
+        Position::NodeRow(r) => graph.node_rows()[r as usize].node.index(),
+        Position::EdgeRow(_) => unreachable!("node hop over an edge-positioned chain"),
+    };
+    let sorted = is_key_sorted(&chains, key);
+    match strategy.resolve(sorted) {
+        ResolvedJoin::Hash => {
+            for chain in &chains {
+                let node = graph.node_rows()[match chain.position {
+                    Position::NodeRow(r) => r,
+                    Position::EdgeRow(_) => unreachable!(),
+                } as usize]
+                    .node;
+                let rows = match direction {
+                    HopDirection::Forward => graph.out_edge_rows(node),
+                    HopDirection::Backward => graph.in_edge_rows(node),
+                };
+                extend_with_edge_rows(graph, chain, rows, out);
             }
-            out
+        }
+        ResolvedJoin::Merge => {
+            if !sorted {
+                chains.sort_by_key(key);
+            }
+            type EdgeKeyFn = fn(&GraphRelations, u32) -> usize;
+            let (perm, edge_key): (&[u32], EdgeKeyFn) = match direction {
+                HopDirection::Forward => {
+                    (graph.edge_rows_sorted_by_src(), |g, r| g.edge_rows()[r as usize].src.index())
+                }
+                HopDirection::Backward => {
+                    (graph.edge_rows_sorted_by_tgt(), |g, r| g.edge_rows()[r as usize].tgt.index())
+                }
+            };
+            let joined = interval_merge_join(
+                &chains,
+                perm,
+                key,
+                |&r| edge_key(graph, r),
+                |c| c.interval,
+                |&r| graph.edge_rows()[r as usize].interval,
+            );
+            out.extend(joined.into_iter().map(|(chain, &edge_row, interval)| {
+                let mut next = chain.clone();
+                next.position = Position::EdgeRow(edge_row);
+                next.interval = interval;
+                next
+            }));
+        }
+    }
+}
+
+/// Joins edge-positioned chains with the Nodes relation on the endpoint key
+/// (target node for forward hops, source node for backward hops).
+fn hop_from_edges(
+    graph: &GraphRelations,
+    mut chains: Vec<Chain>,
+    direction: HopDirection,
+    strategy: JoinStrategy,
+    out: &mut Vec<Chain>,
+) {
+    let endpoint = |c: &Chain| {
+        let row = &graph.edge_rows()[match c.position {
+            Position::EdgeRow(r) => r,
+            Position::NodeRow(_) => unreachable!("edge hop over a node-positioned chain"),
+        } as usize];
+        match direction {
+            HopDirection::Forward => row.tgt,
+            HopDirection::Backward => row.src,
+        }
+    };
+    let key = |c: &Chain| endpoint(c).index();
+    let sorted = is_key_sorted(&chains, key);
+    match strategy.resolve(sorted) {
+        ResolvedJoin::Hash => {
+            for chain in &chains {
+                extend_with_node_rows(graph, chain, graph.rows_of_node(endpoint(chain)), out);
+            }
+        }
+        ResolvedJoin::Merge => {
+            if !sorted {
+                chains.sort_by_key(key);
+            }
+            let joined = interval_merge_join(
+                &chains,
+                graph.node_rows_sorted_by_id(),
+                key,
+                |&r| graph.node_rows()[r as usize].node.index(),
+                |c| c.interval,
+                |&r| graph.node_rows()[r as usize].interval,
+            );
+            out.extend(joined.into_iter().map(|(chain, &node_row, interval)| {
+                let mut next = chain.clone();
+                next.position = Position::NodeRow(node_row);
+                next.interval = interval;
+                next
+            }));
         }
     }
 }
@@ -65,29 +210,6 @@ fn apply_filter(graph: &GraphRelations, mut chain: Chain, filter: &ObjFilter) ->
     }
     chain.interval = filter.clamp_interval(chain.interval)?;
     Some(chain)
-}
-
-/// One structural step: node → incident edge, or edge → endpoint node, keeping only
-/// temporally-aligned matches (non-empty interval intersections).
-fn hop(graph: &GraphRelations, chain: &Chain, direction: HopDirection, out: &mut Vec<Chain>) {
-    match (chain.position, direction) {
-        (Position::NodeRow(r), HopDirection::Forward) => {
-            let node = graph.node_rows()[r as usize].node;
-            extend_with_edge_rows(graph, chain, graph.out_edge_rows(node), out);
-        }
-        (Position::NodeRow(r), HopDirection::Backward) => {
-            let node = graph.node_rows()[r as usize].node;
-            extend_with_edge_rows(graph, chain, graph.in_edge_rows(node), out);
-        }
-        (Position::EdgeRow(r), HopDirection::Forward) => {
-            let tgt = graph.edge_rows()[r as usize].tgt;
-            extend_with_node_rows(graph, chain, graph.rows_of_node(tgt), out);
-        }
-        (Position::EdgeRow(r), HopDirection::Backward) => {
-            let src = graph.edge_rows()[r as usize].src;
-            extend_with_node_rows(graph, chain, graph.rows_of_node(src), out);
-        }
-    }
 }
 
 fn extend_with_edge_rows(
@@ -155,6 +277,22 @@ mod tests {
         (0..graph.node_rows().len() as u32).map(|r| Chain::seed(r, graph)).collect()
     }
 
+    /// Applies the segment under every strategy, asserts that all strategies agree on
+    /// the result multiset, and returns the hash-strategy result (whose order the
+    /// expectations below are written against).
+    fn apply_checked(graph: &GraphRelations, segment: &Segment) -> Vec<Chain> {
+        let hash = apply_segment(graph, seeds(graph), segment, JoinStrategy::Hash);
+        for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+            let alt = apply_segment(graph, seeds(graph), segment, strategy);
+            let mut lhs: Vec<String> = hash.iter().map(|c| format!("{c:?}")).collect();
+            let mut rhs: Vec<String> = alt.iter().map(|c| format!("{c:?}")).collect();
+            lhs.sort();
+            rhs.sort();
+            assert_eq!(lhs, rhs, "{strategy} strategy disagrees with hash");
+        }
+        hash
+    }
+
     #[test]
     fn filters_prune_rows_and_clamp_intervals() {
         let g = graph();
@@ -164,7 +302,7 @@ mod tests {
             &[Constraint::Prop("risk".into(), Value::str("high"))],
         );
         let segment = Segment { ops: vec![MicroOp::Filter(filter), MicroOp::Bind(0)] };
-        let result = apply_segment(&g, seeds(&g), &segment);
+        let result = apply_checked(&g, &segment);
         assert_eq!(result.len(), 1);
         assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
         assert_eq!(result[0].interval, iv(1, 9));
@@ -175,8 +313,7 @@ mod tests {
             None,
             &[Constraint::Time(trpq::parser::CmpOp::Lt, 4)],
         );
-        let clamped =
-            apply_segment(&g, seeds(&g), &Segment { ops: vec![MicroOp::Filter(time_filter)] });
+        let clamped = apply_checked(&g, &Segment { ops: vec![MicroOp::Filter(time_filter)] });
         // Every node row survives but clamped below time 4; the Room row starts at 3.
         assert_eq!(clamped.len(), 3);
         assert!(clamped.iter().all(|c| c.interval.end() <= 3));
@@ -198,7 +335,7 @@ mod tests {
                 MicroOp::Hop(HopDirection::Forward),
             ],
         };
-        let result = apply_segment(&g, seeds(&g), &segment);
+        let result = apply_checked(&g, &segment);
         assert_eq!(result.len(), 1);
         assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
         // Interval is the intersection of ann [1,9], meets [5,6], bob [1,9].
@@ -217,7 +354,7 @@ mod tests {
                 MicroOp::Hop(HopDirection::Backward),
             ],
         };
-        let result = apply_segment(&g, seeds(&g), &segment);
+        let result = apply_checked(&g, &segment);
         assert_eq!(result.len(), 1);
         assert_eq!(g.object_name(result[0].position.object(&g)), "bob");
         assert_eq!(result[0].interval, iv(6, 8));
@@ -233,6 +370,6 @@ mod tests {
             ],
         };
         // The room has no outgoing edges.
-        assert!(apply_segment(&g, seeds(&g), &segment).is_empty());
+        assert!(apply_checked(&g, &segment).is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Step 2 of query evaluation (Section VI): interval-based reasoning for temporal
 //! navigation.
 //!
-//! A [`Shift`](crate::plan::Shift) moves the cursor in time on the object the previous
+//! A [`Shift`] moves the cursor in time on the object the previous
 //! segment ended on.  In the practical language every traversed temporal object must
 //! exist, so the move is confined to the maximal existence interval containing the
 //! departure times; the arrival window is computed with interval arithmetic and

@@ -142,7 +142,7 @@ impl<'g> FullSolver<'g> {
                 1 => self.solve(inner, src, dst),
                 _ => {
                     let half = n / 2;
-                    if n.is_multiple_of(2) {
+                    if n % 2 == 0 {
                         self.split(src, dst, |solver, mid| {
                             solver.solve_repeat(inner, half, half, src, mid)
                                 && solver.solve_repeat(inner, half, half, mid, dst)
@@ -164,7 +164,7 @@ impl<'g> FullSolver<'g> {
                 1 => src == dst || self.solve(inner, src, dst),
                 _ => {
                     let half = m / 2;
-                    if m.is_multiple_of(2) {
+                    if m % 2 == 0 {
                         self.split(src, dst, |solver, mid| {
                             solver.solve_repeat(inner, 0, half, src, mid)
                                 && solver.solve_repeat(inner, 0, half, mid, dst)

@@ -186,7 +186,7 @@ impl QuadTable {
             _ => {
                 let half = self.repeat_exact(n / 2, universe);
                 let squared = half.compose(&half);
-                if n.is_multiple_of(2) {
+                if n % 2 == 0 {
                     squared
                 } else {
                     squared.compose(self)
@@ -208,7 +208,7 @@ impl QuadTable {
         }
         let half = self.repeat_up_to(n / 2, universe);
         let doubled = half.compose(&half);
-        if n.is_multiple_of(2) {
+        if n % 2 == 0 {
             doubled
         } else {
             doubled.compose(&step)

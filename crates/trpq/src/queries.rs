@@ -2,9 +2,9 @@
 //! evaluation (Table II and Figures 2–5).
 //!
 //! Each query is stored as its practical-syntax text (as printed in the paper, with
-//! line breaks joined) and can be parsed with [`clause`] or compiled into the formal
-//! language with [`compiled`].  Queries Q10–Q12 contain a temporal navigation operator
-//! with a numerical occurrence indicator; [`with_temporal_bound`] rebuilds them with a
+//! line breaks joined) and can be parsed with [`QueryId::clause`] or compiled into the formal
+//! language with [`QueryId::compiled`].  Queries Q10–Q12 contain a temporal navigation operator
+//! with a numerical occurrence indicator; [`QueryId::with_temporal_bound`] rebuilds them with a
 //! different upper bound, which is what the Figure 4 experiment sweeps.
 
 use crate::error::Result;

@@ -66,6 +66,13 @@ impl ContactTracingConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the number of slots in the temporal domain (the paper fixes 48; smoke
+    /// benchmarks shrink it to keep point expansion cheap).
+    pub fn with_time_points(mut self, num_time_points: u64) -> Self {
+        self.trajectories.num_time_points = num_time_points;
+        self
+    }
 }
 
 /// Generates a contact-tracing ITPG from the configuration.

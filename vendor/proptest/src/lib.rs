@@ -198,7 +198,7 @@ pub mod arbitrary {
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
-            rng.next_u64().is_multiple_of(2)
+            rng.next_u64() % 2 == 0
         }
     }
 
