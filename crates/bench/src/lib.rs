@@ -10,11 +10,21 @@
 
 use std::time::Instant;
 
-use engine::{ExecutionOptions, GraphRelations, JoinStrategy};
+use engine::{ExecutionOptions, GraphRelations, JoinStrategy, QueryOutput};
+use trpq::parser::MatchClause;
 use trpq::queries::QueryId;
 use workload::{ContactTracingConfig, ScaleFactor};
 
 pub mod json;
+
+/// Name of the reachability workload in perf reports: transitive contact chains
+/// through the structural Kleene closure — the query family unlocked by the engine's
+/// fixpoint operator (it has no Q-number in the paper).
+pub const REACH_QUERY_NAME: &str = "REACH";
+
+/// Text of the [`REACH_QUERY_NAME`] workload.
+pub const REACH_QUERY_TEXT: &str = "MATCH (x:Person {risk = 'high'})\
+                                    -/(FWD/:meets/FWD)*/-(y:Person) ON contact_tracing";
 
 /// The scale divisor taken from `TPATH_SCALE_DIVISOR` (default 25).
 pub fn scale_divisor() -> usize {
@@ -102,8 +112,6 @@ pub struct BuildReport {
 /// One measured query execution (one row of Table II).
 #[derive(Debug, Clone, Copy)]
 pub struct QueryMeasurement {
-    /// The query.
-    pub query: QueryId,
     /// Interval-based time (Steps 1–2), in seconds.
     pub interval_seconds: f64,
     /// Total time (Steps 1–3), in seconds.
@@ -114,15 +122,27 @@ pub struct QueryMeasurement {
     pub output_size: usize,
 }
 
-/// Runs one query and records its measurements.
+/// Runs one of the paper's benchmark queries and records its measurements.
 pub fn measure(
     id: QueryId,
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryMeasurement {
-    let out = engine::execute_query(id, graph, options);
+    summarize(engine::execute_query(id, graph, options))
+}
+
+/// Compiles and runs a query given as a parsed clause — for harness workloads beyond
+/// Q1–Q12, such as the [`REACH_QUERY_TEXT`] reachability query.
+pub fn measure_clause(
+    clause: &MatchClause,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> QueryMeasurement {
+    summarize(engine::execute_clause(clause, graph, options).expect("harness queries compile"))
+}
+
+fn summarize(out: QueryOutput) -> QueryMeasurement {
     QueryMeasurement {
-        query: id,
         interval_seconds: out.stats.interval_time.as_secs_f64(),
         total_seconds: out.stats.total_time.as_secs_f64(),
         interval_rows: out.stats.interval_rows,
@@ -151,6 +171,14 @@ mod tests {
         assert!(report.temporal_nodes >= report.nodes);
         let m = measure(QueryId::Q1, &graph, &ExecutionOptions::sequential());
         assert!(m.output_size > 0);
+        assert!(m.total_seconds >= m.interval_seconds);
+    }
+
+    #[test]
+    fn reach_query_parses_and_measures() {
+        let (graph, _) = build_graph_with(ContactTracingConfig::with_persons(60));
+        let clause = trpq::parser::parse_match(REACH_QUERY_TEXT).unwrap();
+        let m = measure_clause(&clause, &graph, &ExecutionOptions::sequential());
         assert!(m.total_seconds >= m.interval_seconds);
     }
 

@@ -119,6 +119,70 @@ proptest! {
     }
 
     #[test]
+    fn semi_naive_delta_rounds_agree_across_join_strategies(
+        mut edges in rows_strategy(),
+        seeds in prop::collection::vec((0..=MAX_KEY, interval_strategy()), 1..8),
+    ) {
+        // The closure operator's semi-naive loop joins a frontier of
+        // (key, interval) deltas against an adjacency relation once per round,
+        // coalescing the results between rounds.  Both physical join strategies must
+        // produce the same canonical frontier at every round.  `Row.id` doubles as
+        // the destination key, wrapped into the key range.
+        edges.sort();
+        let canonical = |joined: Vec<(u32, Interval)>| -> Vec<(u32, Interval)> {
+            let mut grouped: std::collections::BTreeMap<u32, Vec<Interval>> = Default::default();
+            for (key, iv) in joined {
+                grouped.entry(key).or_default().push(iv);
+            }
+            grouped
+                .into_iter()
+                .flat_map(|(key, ivs)| {
+                    tgraph::IntervalSet::from_intervals(ivs)
+                        .intervals()
+                        .iter()
+                        .map(move |&iv| (key, iv))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let destination = |r: &Row| r.id % (MAX_KEY + 1);
+
+        let mut frontier = canonical(seeds);
+        for round in 0..3 {
+            let hashed: Vec<(u32, Interval)> = interval_hash_join(
+                &frontier,
+                &edges,
+                |f| f.0,
+                |r| r.key,
+                |f| f.1,
+                |r| r.interval,
+            )
+            .into_iter()
+            .map(|(_, r, iv)| (destination(r), iv))
+            .collect();
+            // The frontier is canonical, hence key-sorted — exactly what the merge
+            // path requires.
+            let merged: Vec<(u32, Interval)> = interval_merge_join(
+                &frontier,
+                &edges,
+                |f| f.0 as usize,
+                |r| r.key as usize,
+                |f| f.1,
+                |r| r.interval,
+            )
+            .into_iter()
+            .map(|(_, r, iv)| (destination(r), iv))
+            .collect();
+            let next = canonical(hashed);
+            prop_assert_eq!(&next, &canonical(merged), "round {} diverged", round);
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+    }
+
+    #[test]
     fn kway_merge_dedup_equals_sort_dedup(runs in prop::collection::vec(
         prop::collection::vec(0..50u32, 0..12), 0..5,
     )) {

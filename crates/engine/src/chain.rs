@@ -5,8 +5,9 @@ use tgraph::{Interval, Object};
 use crate::relations::GraphRelations;
 
 /// Where the evaluation cursor currently sits: on a row of the Nodes relation or on a
-/// row of the Edges relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// row of the Edges relation.  The ordering (node rows before edge rows, then by row
+/// index) is used by the closure fixpoint to keep its frontier canonical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Position {
     /// Index into [`GraphRelations::node_rows`].
     NodeRow(u32),

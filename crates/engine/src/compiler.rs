@@ -1,11 +1,15 @@
 //! Compilation of parsed `MATCH` clauses into engine plans.
 //!
 //! The engine implements the fragment of `NavL[PC,NOI]` that covers all the queries of
-//! Section IV: patterns whose regular expressions combine structural steps
-//! (`FWD`/`BWD` and label / property tests) with temporal navigation (`NEXT`/`PREV`,
-//! optionally carrying a numerical occurrence indicator or the Kleene star), plus
-//! top-level unions.  Structural steps under repetition and nested repetition of
-//! groups fall outside this fragment and are rejected with
+//! Section IV and the reachability family beyond them: patterns whose regular
+//! expressions combine structural steps (`FWD`/`BWD` and label / property tests,
+//! optionally under repetition — compiled to the [`MicroOp::Closure`] fixpoint
+//! operator) with temporal navigation (`NEXT`/`PREV`, optionally carrying a numerical
+//! occurrence indicator or the Kleene star), plus unions.  Degenerate indicators are
+//! normalised during compilation: `p[1,1]` is `p`, `p[0,0]` is the empty path, and an
+//! unsatisfiable `p[n,m]` with `n > m` relates nothing (its alternative is dropped).
+//! Only repetition of a group that *mixes* structural and temporal navigation (e.g.
+//! `(FWD/NEXT)*`) falls outside the fragment and is rejected with
 //! [`QueryError::UnsupportedFragment`]; the reference evaluators in the `trpq` crate
 //! cover the full language on point-timestamped graphs.
 
@@ -16,7 +20,9 @@ use trpq::parser::{
 };
 use trpq::{QueryError, Result};
 
-use crate::plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
+use crate::plan::{
+    ClosureOp, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
+};
 
 /// Compiles a parsed clause into a set of engine plans (one per union alternative),
 /// leaving the join strategy adaptive (`Auto`).
@@ -155,48 +161,116 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
             reason: reason.to_owned(),
         })
     };
-    match (&item.atom, item.repeat) {
-        (RegexAtom::Axis(Axis::Fwd), None) => {
-            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Forward))]])
-        }
-        (RegexAtom::Axis(Axis::Bwd), None) => {
-            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Backward))]])
-        }
-        (RegexAtom::Axis(Axis::Fwd | Axis::Bwd), Some(_)) => {
-            unsupported("structural navigation under a repetition is outside the engine fragment")
-        }
-        (RegexAtom::Axis(axis @ (Axis::Next | Axis::Prev)), repeat) => {
-            let (min, max) = match repeat {
-                None => (1, Some(1)),
-                Some((n, m)) => (n, m),
-            };
+    let Some((min, max)) = item.repeat else {
+        return compile_regex_atom(&item.atom, variables);
+    };
+    // Unsatisfiable indicators (`n > m`, e.g. NEXT[3,1]) relate nothing: the whole
+    // concatenation containing them is empty, so the alternative is dropped
+    // (returning zero alternatives), matching the reference evaluators.
+    if max.is_some_and(|m| m < min) {
+        return Ok(Vec::new());
+    }
+    // Degenerate indicators are semantically transparent: p[0,0] is the empty path
+    // (zero repetitions, the identity) and p[1,1] is p itself.
+    if (min, max) == (0, Some(0)) {
+        return Ok(vec![Vec::new()]);
+    }
+    if (min, max) == (1, Some(1)) {
+        return compile_regex_atom(&item.atom, variables);
+    }
+    match &item.atom {
+        // A repeated temporal axis walks through existing states of the same object:
+        // one shift with the indicator's bounds.
+        RegexAtom::Axis(axis @ (Axis::Next | Axis::Prev)) => {
             Ok(vec![vec![PlanOp::Shift(Shift { forward: *axis == Axis::Next, min, max })]])
         }
-        (RegexAtom::Label(label), None) => {
+        // A repeated structural axis is a transitive closure over the adjacency.
+        RegexAtom::Axis(axis @ (Axis::Fwd | Axis::Bwd)) => {
+            let hop =
+                if *axis == Axis::Fwd { HopDirection::Forward } else { HopDirection::Backward };
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(ClosureOp {
+                alternatives: vec![vec![MicroOp::Hop(hop)]],
+                min,
+                max,
+            }))]])
+        }
+        // A test is idempotent, so test[n,m] is the test itself when at least one
+        // repetition is required; with n = 0 the zero-repetition identity absorbs it.
+        RegexAtom::Label(_) | RegexAtom::Props(_) => {
+            if min == 0 {
+                Ok(vec![Vec::new()])
+            } else {
+                compile_regex_atom(&item.atom, variables)
+            }
+        }
+        RegexAtom::Group(inner) => {
+            // A purely temporal group (a single NEXT/PREV, possibly with an existing
+            // indicator), e.g. (NEXT)[0,12], composes into one shift.
+            if let Some(shift) = purely_temporal_group(inner) {
+                if shift.is_unsatisfiable() {
+                    // The inner expression relates nothing: the repetition is the
+                    // identity when zero iterations are allowed and empty otherwise.
+                    return Ok(if min == 0 { vec![Vec::new()] } else { Vec::new() });
+                }
+                return match combine_repetition(shift, (min, max)) {
+                    Some(s) => Ok(vec![vec![PlanOp::Shift(s)]]),
+                    None => unsupported("nested temporal repetitions with incompatible bounds"),
+                };
+            }
+            // A purely structural group becomes a closure whose alternatives are the
+            // compiled union branches of the inner expression (unions must stay
+            // inside the fixpoint: the closure of a union is not the union of the
+            // closures).
+            let inner_alternatives = compile_regex(inner, variables)?;
+            if inner_alternatives.is_empty() {
+                // Every inner branch was unsatisfiable.
+                return Ok(if min == 0 { vec![Vec::new()] } else { Vec::new() });
+            }
+            let mut alternatives = Vec::with_capacity(inner_alternatives.len());
+            for alternative in inner_alternatives {
+                let mut ops = Vec::with_capacity(alternative.len());
+                for op in alternative {
+                    match op {
+                        PlanOp::Micro(m) => ops.push(m),
+                        PlanOp::Shift(_) => {
+                            return unsupported(
+                                "repetition of a group containing temporal navigation is \
+                                 outside the engine fragment (only a single repeated \
+                                 NEXT/PREV composes into a shift)",
+                            )
+                        }
+                    }
+                }
+                alternatives.push(ops);
+            }
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(ClosureOp { alternatives, min, max }))]])
+        }
+    }
+}
+
+/// Compiles a regex atom without a repetition postfix.
+fn compile_regex_atom(atom: &RegexAtom, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
+    match atom {
+        RegexAtom::Axis(Axis::Fwd) => {
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Forward))]])
+        }
+        RegexAtom::Axis(Axis::Bwd) => {
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Hop(HopDirection::Backward))]])
+        }
+        RegexAtom::Axis(axis @ (Axis::Next | Axis::Prev)) => Ok(vec![vec![PlanOp::Shift(Shift {
+            forward: *axis == Axis::Next,
+            min: 1,
+            max: Some(1),
+        })]]),
+        RegexAtom::Label(label) => {
             let filter = ObjFilter { label: Some(label.clone()), ..Default::default() };
             Ok(vec![vec![PlanOp::Micro(MicroOp::Filter(filter))]])
         }
-        (RegexAtom::Props(constraints), None) => {
+        RegexAtom::Props(constraints) => {
             let filter = ObjFilter::from_pattern(None, None, constraints);
             Ok(vec![vec![PlanOp::Micro(MicroOp::Filter(filter))]])
         }
-        (RegexAtom::Label(_) | RegexAtom::Props(_), Some(_)) => unsupported(
-            "repeating a test is a no-op the engine does not accept; drop the indicator",
-        ),
-        (RegexAtom::Group(inner), None) => compile_regex(inner, variables),
-        (RegexAtom::Group(inner), Some(repeat)) => {
-            // A repeated group is supported only when it is purely temporal (a single
-            // NEXT/PREV possibly with an existing indicator), e.g. (NEXT)[0,12].
-            if let Some(shift) = purely_temporal_group(inner) {
-                let combined = combine_repetition(shift, repeat);
-                match combined {
-                    Some(s) => Ok(vec![vec![PlanOp::Shift(s)]]),
-                    None => unsupported("nested temporal repetitions with incompatible bounds"),
-                }
-            } else {
-                unsupported("repetition of a composite group is outside the engine fragment")
-            }
-        }
+        RegexAtom::Group(inner) => compile_regex(inner, variables),
     }
 }
 
@@ -343,16 +417,104 @@ mod tests {
 
     #[test]
     fn unsupported_constructs_are_rejected() {
-        // Structural navigation under a repetition.
-        let err = compile(&parse_match("MATCH (x)-/FWD*/-(y) ON g").unwrap()).unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
-        // Repetition of a composite group.
+        // Repetition of a group mixing structural and temporal navigation.
         let err =
             compile(&parse_match("MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g").unwrap()).unwrap_err();
         assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
-        // Repeating a test.
-        let err = compile(&parse_match("MATCH (x)-/:Room[0,2]/-(y) ON g").unwrap()).unwrap_err();
+        let err = compile(&parse_match("MATCH (x)-/(FWD/:meets/FWD/PREV)*/-(y) ON g").unwrap())
+            .unwrap_err();
         assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+    }
+
+    /// The closure op of the first segment of the first plan.
+    fn find_closure(plan_set: &PlanSet) -> &ClosureOp {
+        plan_set.plans[0].segments[0]
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                MicroOp::Closure(c) => Some(c),
+                _ => None,
+            })
+            .expect("the plan contains a closure")
+    }
+
+    #[test]
+    fn structural_repetition_compiles_to_a_closure() {
+        // A repeated structural axis.
+        let plan_set = compile_text("MATCH (x)-/FWD*/-(y) ON g");
+        let closure = find_closure(&plan_set);
+        assert_eq!(closure.min, 0);
+        assert_eq!(closure.max, None);
+        assert_eq!(closure.alternatives, vec![vec![MicroOp::Hop(HopDirection::Forward)]]);
+
+        // The iconic contact-chain query: a repeated structural group.
+        let plan_set = compile_text("MATCH (x)-/(FWD/:meets/FWD)*/-(y) ON g");
+        let closure = find_closure(&plan_set);
+        assert_eq!(closure.alternatives.len(), 1);
+        assert_eq!(closure.alternatives[0].len(), 3);
+        assert!(plan_set.plans[0].is_purely_structural());
+
+        // Unions stay inside the fixpoint as closure alternatives.
+        let plan_set = compile_text("MATCH (x)-/(FWD/:meets/FWD + BWD/:meets/BWD)[1,4]/-(y) ON g");
+        assert_eq!(plan_set.plans.len(), 1, "the union must not be distributed");
+        let closure = find_closure(&plan_set);
+        assert_eq!(closure.alternatives.len(), 2);
+        assert_eq!((closure.min, closure.max), (1, Some(4)));
+
+        // Nested repetition of structural groups also stays in the fragment.
+        let nested = compile_text("MATCH (x)-/((FWD/:meets/FWD)[1,2])*/-(y) ON g");
+        let outer = find_closure(&nested);
+        assert!(matches!(outer.alternatives[0][0], MicroOp::Closure(_)));
+    }
+
+    #[test]
+    fn degenerate_repetitions_are_normalised() {
+        // p[1,1] is p itself: same plan as the unrepeated atom.
+        let repeated = compile_text("MATCH (x)-/:meets[1,1]/-(y) ON g");
+        let plain = compile_text("MATCH (x)-/:meets/-(y) ON g");
+        assert_eq!(repeated.plans, plain.plans);
+        let hop = compile_text("MATCH (x)-/FWD[1,1]/-(y) ON g");
+        let plain_hop = compile_text("MATCH (x)-/FWD/-(y) ON g");
+        assert_eq!(hop.plans, plain_hop.plans);
+        let group = compile_text("MATCH (x)-/(FWD/:meets/FWD)[1,1]/-(y) ON g");
+        let plain_group = compile_text("MATCH (x)-/FWD/:meets/FWD/-(y) ON g");
+        assert_eq!(group.plans, plain_group.plans);
+
+        // p[0,0] is the empty path: the item vanishes from the pipeline, leaving only
+        // the two node patterns (filter + bind each).
+        let zero = compile_text("MATCH (x)-/:Room[0,0]/-(y) ON g");
+        assert_eq!(zero.plans[0].segments[0].ops.len(), 4);
+        let zero_group = compile_text("MATCH (x)-/(FWD/:meets/FWD)[0,0]/-(y) ON g");
+        assert_eq!(zero_group.plans, zero.plans);
+
+        // Repeated tests are idempotent.
+        let test_rep = compile_text("MATCH (x)-/:Room[2,5]/-(y) ON g");
+        let test_plain = compile_text("MATCH (x)-/:Room/-(y) ON g");
+        assert_eq!(test_rep.plans, test_plain.plans);
+        let test_opt = compile_text("MATCH (x)-/:Room[0,2]/-(y) ON g");
+        assert_eq!(test_opt.plans, zero.plans);
+    }
+
+    #[test]
+    fn unsatisfiable_indicators_drop_the_alternative() {
+        // n > m relates nothing: the plan set is empty and execution returns no rows.
+        for text in [
+            "MATCH (x)-/NEXT[3,1]/-(y) ON g",
+            "MATCH (x)-/FWD[3,1]/-(y) ON g",
+            "MATCH (x)-/:Room[3,1]/-(y) ON g",
+            "MATCH (x)-/(FWD/:meets/FWD)[3,1]/-(y) ON g",
+            "MATCH (x)-/(NEXT[2,1])[1,3]/-(y) ON g",
+        ] {
+            let plan_set = compile(&parse_match(text).unwrap()).unwrap();
+            assert!(plan_set.plans.is_empty(), "{text} should compile to no plans");
+        }
+        // A satisfiable union branch survives next to an unsatisfiable one.
+        let plan_set = compile_text("MATCH (x)-/(NEXT[3,1] + FWD)/-(y) ON g");
+        assert_eq!(plan_set.plans.len(), 1);
+        // Zero repetitions of an unsatisfiable expression is still the identity.
+        let zero_of_unsat = compile_text("MATCH (x)-/(NEXT[3,1])[0,5]/-(y) ON g");
+        let zero = compile_text("MATCH (x)-/:Room[0,0]/-(y) ON g");
+        assert_eq!(zero_of_unsat.plans, zero.plans);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! temporal pruning → point expansion), with chunked data parallelism over the seed
 //! rows.
 
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use dataflow::{kway_merge_dedup, par_chunk_flat_map, JoinStrategy, Parallelism};
@@ -18,6 +19,7 @@ use crate::relations::GraphRelations;
 use crate::steps::expand::{expand_chains, expand_chunk_sorted};
 use crate::steps::structural::apply_segment;
 use crate::steps::temporal::apply_shift;
+use crate::steps::StepStats;
 
 /// Knobs controlling the execution of a query.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +75,10 @@ pub struct QueryStats {
     pub interval_rows: usize,
     /// Number of rows of the final binding table — the "output size" column.
     pub output_rows: usize,
+    /// Number of closure fixpoint rounds executed during Step 1 (applications of a
+    /// repeated structural sub-expression to a frontier); 0 for plans without
+    /// structural repetition.
+    pub closure_rounds: usize,
 }
 
 /// The result of executing a query: the binding table plus measurements.
@@ -101,12 +107,13 @@ pub fn execute(
     options: &ExecutionOptions,
 ) -> QueryOutput {
     let strategy = effective_strategy(plan_set, options);
+    let step_stats = StepStats::default();
     let start = Instant::now();
     // Steps 1 and 2: interval-based evaluation of every union alternative.
     let per_plan_chains: Vec<Vec<Chain>> = plan_set
         .plans
         .iter()
-        .map(|plan| run_plan(plan, graph, options.parallelism, strategy))
+        .map(|plan| run_plan(plan, graph, options.parallelism, strategy, &step_stats))
         .collect();
     let interval_time = start.elapsed();
     let interval_rows = per_plan_chains.iter().map(Vec::len).sum();
@@ -138,10 +145,11 @@ pub fn execute(
     }
     let total_time = start.elapsed();
     let output_rows = table.len();
+    let closure_rounds = step_stats.closure_rounds.load(Ordering::Relaxed);
 
     QueryOutput {
         table,
-        stats: QueryStats { interval_time, total_time, interval_rows, output_rows },
+        stats: QueryStats { interval_time, total_time, interval_rows, output_rows, closure_rounds },
     }
 }
 
@@ -165,13 +173,14 @@ pub fn execute_text(
     execute_clause(&clause, graph, options)
 }
 
-/// Executes one of the paper's benchmark queries Q1–Q12.
+/// Executes one of the paper's benchmark queries Q1–Q12, using the precompiled plan
+/// table of [`crate::queries`].
 pub fn execute_query(
     id: QueryId,
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryOutput {
-    let plan_set = compile(&id.clause()).expect("the built-in queries compile");
+    let plan_set = crate::queries::plan_for(id);
     execute(&plan_set, graph, options)
 }
 
@@ -185,6 +194,7 @@ fn run_plan(
     graph: &GraphRelations,
     parallelism: Parallelism,
     strategy: JoinStrategy,
+    stats: &StepStats,
 ) -> Vec<Chain> {
     let seed_rows: Vec<u32> = (0..graph.node_rows().len() as u32).collect();
     par_chunk_flat_map(&seed_rows, parallelism, |rows| {
@@ -193,7 +203,7 @@ fn run_plan(
             if index > 0 {
                 chains = apply_shift(graph, chains, &plan.shifts[index - 1]);
             }
-            chains = apply_segment(graph, chains, segment, strategy);
+            chains = apply_segment(graph, chains, segment, strategy, stats);
             if chains.is_empty() {
                 break;
             }
@@ -310,6 +320,102 @@ mod tests {
         assert!(rows.contains(&vec!["eve".to_string(), "8".into(), "room".into(), "5".into()]));
         assert!(rows.contains(&vec!["eve".to_string(), "10".into(), "room".into(), "6".into()]));
         assert!(!rows.contains(&vec!["eve".to_string(), "5".into(), "room".into(), "5".into()]));
+    }
+
+    #[test]
+    fn structural_closure_queries_run_on_the_engine() {
+        let g = relations();
+        let out = execute_text(
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD)*/-(y:Person) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
+        // Zero iterations keep mia over her whole row; one meets-hop reaches eve over
+        // the edge's validity [2,3].  The whole query stays interval-coalesced.
+        let rows = names(&g, &out);
+        assert!(rows.contains(&vec![
+            "mia".to_string(),
+            "[1, 10]".into(),
+            "mia".into(),
+            "[1, 10]".into()
+        ]));
+        assert!(rows.contains(&vec![
+            "mia".to_string(),
+            "[2, 3]".into(),
+            "eve".into(),
+            "[2, 3]".into()
+        ]));
+        assert_eq!(rows.len(), 2);
+        assert!(out.stats.closure_rounds > 0, "the fixpoint must have iterated");
+
+        // A mandatory first iteration drops the zero-step match.
+        let plus = execute_text(
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD)[1,_]/-(y:Person) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(
+            names(&g, &plus),
+            vec![vec!["mia".to_string(), "[2, 3]".into(), "eve".into(), "[2, 3]".into()]]
+        );
+
+        // Closure composes with temporal navigation: reachable contacts who later
+        // test positive (a transitive Q9).
+        let temporal = execute_text(
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD)[1,3]/NEXT*/-({test = 'pos'}) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(
+            names(&g, &temporal),
+            vec![vec!["mia".to_string(), "2".into()], vec!["mia".to_string(), "3".into()]]
+        );
+    }
+
+    #[test]
+    fn closure_queries_agree_across_strategies_and_parallelism() {
+        let g = relations();
+        for query in [
+            "MATCH (x:Person)-/(FWD/:meets/FWD)*/-(y:Person) ON g",
+            "MATCH (x:Person)-/(FWD/:meets/FWD + FWD/:visits/FWD)*/-(y) ON g",
+            "MATCH (x)-/FWD*/-(y) ON g",
+        ] {
+            let hash = execute_text(
+                query,
+                &g,
+                &ExecutionOptions::sequential().with_strategy(JoinStrategy::Hash),
+            )
+            .unwrap();
+            for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+                let alt = execute_text(
+                    query,
+                    &g,
+                    &ExecutionOptions::sequential().with_strategy(strategy),
+                )
+                .unwrap();
+                assert_eq!(hash.table, alt.table, "{query} under {strategy}");
+                assert_eq!(hash.stats.interval_rows, alt.stats.interval_rows, "{query}");
+            }
+            let par = execute_text(query, &g, &ExecutionOptions::with_threads(4)).unwrap();
+            assert_eq!(hash.table, par.table, "{query} in parallel");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_queries_return_empty_tables() {
+        let g = relations();
+        for query in [
+            "MATCH (x)-/NEXT[3,1]/-(y) ON g",
+            "MATCH (x)-/FWD[3,1]/-(y) ON g",
+            "MATCH (x:Person)-/(FWD/:meets/FWD)[2,0]/-(y) ON g",
+        ] {
+            let out = execute_text(query, &g, &ExecutionOptions::sequential()).unwrap();
+            assert_eq!(out.stats.output_rows, 0, "{query}");
+            assert_eq!(out.stats.interval_rows, 0, "{query}");
+        }
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! pipelines over interval-timestamped `Nodes` / `Edges` relations (Step 1), temporal
 //! navigation is pruned with interval arithmetic (Step 2), and the final binding table
 //! is expanded to point-based bindings only when the query requires it (Step 3).
-//! Evaluation is data-parallel over chunks of the input relation.
+//! Structural repetition (`(FWD/:meets/FWD)*` and friends) runs as an interval-aware
+//! transitive-closure fixpoint inside Step 1 ([`steps::closure`]).  Evaluation is
+//! data-parallel over chunks of the input relation.
 //!
 //! ```
 //! use engine::{ExecutionOptions, GraphRelations};
@@ -43,5 +45,5 @@ pub use dataflow::JoinStrategy;
 pub use executor::{
     execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats,
 };
-pub use plan::{EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
+pub use plan::{ClosureOp, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
 pub use relations::{EdgeRow, GraphRelations, NodeRow, RelationStats};

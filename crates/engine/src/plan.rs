@@ -111,6 +111,28 @@ pub enum MicroOp {
     Filter(ObjFilter),
     /// Bind the object under the cursor to the variable slot.
     Bind(usize),
+    /// Repeat a structural sub-pipeline between `min` and `max` times — the engine's
+    /// interval-aware transitive closure (`(FWD/:meets/FWD)*` and friends).
+    Closure(ClosureOp),
+}
+
+/// The repetition of a purely structural sub-expression, evaluated as a semi-naive
+/// fixpoint: each iteration applies every alternative of the inner op pipeline to the
+/// newly discovered `(source, position, interval)` triples only, coalescing intervals
+/// between rounds, until no new coverage appears (or the `max` bound is reached).
+///
+/// The inner alternatives contain no [`MicroOp::Bind`] (the surface language cannot
+/// bind variables inside a repeated group) and no temporal navigation — repetition
+/// over `NEXT`/`PREV` compiles to a [`Shift`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureOp {
+    /// The union alternatives of the repeated sub-expression; one iteration applies
+    /// each alternative to the frontier and unions the results.
+    pub alternatives: Vec<Vec<MicroOp>>,
+    /// Minimum number of iterations.
+    pub min: u32,
+    /// Maximum number of iterations; `None` for open-ended repetitions such as `*`.
+    pub max: Option<u32>,
 }
 
 /// A maximal run of structural operations evaluated at a single snapshot time.
@@ -147,9 +169,19 @@ pub struct Shift {
 }
 
 impl Shift {
+    /// True if no step count satisfies the indicator (`min > max`, e.g. `NEXT[3,1]`):
+    /// the shift relates nothing, matching the reference semantics of an empty
+    /// repetition range.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.max.is_some_and(|m| m < self.min)
+    }
+
     /// The arrival times reachable from departure time `t`, given the maximal
     /// existence interval `within` that contains `t`.
     pub fn arrival_from_point(&self, t: Time, within: Interval) -> Option<Interval> {
+        if self.is_unsatisfiable() {
+            return None;
+        }
         if self.forward {
             let lo = t.checked_add(self.min as u64)?;
             let hi = match self.max {
@@ -186,6 +218,9 @@ impl Shift {
     /// departure.end + max]` for forward shifts and `[departure.start − max,
     /// departure.end − min]` for backward shifts, clamped to `within`.
     pub fn arrival_from_interval(&self, departure: Interval, within: Interval) -> Option<Interval> {
+        if self.is_unsatisfiable() {
+            return None;
+        }
         if self.forward {
             let lo = departure.start().checked_add(self.min as u64)?;
             let hi = match self.max {

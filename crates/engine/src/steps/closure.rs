@@ -1,0 +1,374 @@
+//! The interval-aware transitive-closure operator: fixpoint evaluation of
+//! `(…)*` / `(…)[n,m]` over structural sub-expressions.
+//!
+//! A [`ClosureOp`] repeats a purely structural pipeline (hops and filters, possibly
+//! with union alternatives) between `min` and `max` times.  Evaluation is *semi-naive*
+//! (delta-driven): after the mandatory first `min` iterations, each round applies the
+//! inner pipeline only to the `(source, position, interval)` triples discovered in the
+//! previous round, subtracts the coverage already reached (per source and row, as a
+//! coalesced [`IntervalSet`]), and feeds only the genuinely new intervals into the
+//! next round.  Because all structural micro-operations act pointwise in time —
+//! filters clamp and hops intersect validity intervals — exploring a time point once,
+//! at its first discovery, is sufficient; re-deriving it later can only reproduce
+//! already-known results.  The time domain and the row relations are finite, so the
+//! accumulated coverage grows monotonically and the loop terminates.
+//!
+//! `[n, m]` bounds are honoured by tracking iteration depth: rounds 1…n run without
+//! accumulation (reaching a row earlier than depth `n` does not make it part of the
+//! result), and the semi-naive phase runs at most `m − n` further rounds.  Reaching a
+//! time point at its minimal depth maximises the remaining iteration budget, so the
+//! semi-naive pruning stays exact even under a finite upper bound.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+use dataflow::JoinStrategy;
+use tgraph::{Interval, IntervalSet};
+
+use crate::chain::Position;
+use crate::plan::ClosureOp;
+use crate::relations::GraphRelations;
+use crate::steps::structural::{apply_ops, StructuralCursor};
+use crate::steps::StepStats;
+
+/// One frontier entry of the fixpoint: the index of the input cursor it descends
+/// from, the row it sits on, and the validity interval it covers.  This is the
+/// lightweight "delta" cursor the structural pipeline is driven with inside the loop;
+/// the full input cursors are only touched again when the results are emitted.
+#[derive(Debug, Clone)]
+struct FrontierEntry {
+    /// Index into the closure's input cursor batch.
+    source: u32,
+    /// Current row.
+    position: Position,
+    /// Validity interval of the partial traversal.
+    interval: Interval,
+}
+
+impl StructuralCursor for FrontierEntry {
+    fn position(&self) -> Position {
+        self.position
+    }
+
+    fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    fn moved_to(&self, position: Position, interval: Interval) -> Self {
+        FrontierEntry { source: self.source, position, interval }
+    }
+
+    fn with_interval(mut self, interval: Interval) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    fn record_binding(&mut self, _slot: u32, _graph: &GraphRelations) {
+        // Fails identically in debug and release: silently dropping a binding would
+        // corrupt query output without a diagnostic.
+        unreachable!("the compiler never places a Bind inside a closure");
+    }
+}
+
+/// Applies a closure operator to a batch of cursors, returning one output cursor per
+/// reachable `(source, row, coalesced interval)` triple.  The output is emitted in
+/// canonical `(source, position, interval)` order, so its cardinality and content are
+/// independent of the join strategy used for the inner hops.
+pub fn apply_closure<C: StructuralCursor>(
+    graph: &GraphRelations,
+    cursors: Vec<C>,
+    closure: &ClosureOp,
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<C> {
+    // An unsatisfiable indicator ([n, m] with n > m) relates nothing.  The compiler
+    // normalises these away, but plans can also be built programmatically.
+    if cursors.is_empty() || closure.max.is_some_and(|m| m < closure.min) {
+        return Vec::new();
+    }
+
+    let seed: Vec<FrontierEntry> = cursors
+        .iter()
+        .enumerate()
+        .map(|(i, c)| FrontierEntry {
+            source: i as u32,
+            position: c.position(),
+            interval: c.interval(),
+        })
+        .collect();
+    let mut frontier = coalesce_frontier(seed);
+
+    // Phase 1: exactly `min` applications.  Iteration depth is significant here —
+    // reaching a row in fewer than `min` steps does not put it in the result — so the
+    // rounds replace the frontier instead of accumulating, coalescing within each
+    // depth level only.
+    for _ in 0..closure.min {
+        frontier = apply_round(graph, frontier, closure, strategy, stats);
+        if frontier.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    // Phase 2: semi-naive expansion of up to `max − min` further applications.
+    // `reached` is the result accumulator; `delta` holds only the coverage discovered
+    // in the previous round.
+    let mut reached: BTreeMap<(u32, Position), IntervalSet> = BTreeMap::new();
+    for entry in &frontier {
+        reached.entry((entry.source, entry.position)).or_default().insert(entry.interval);
+    }
+    let mut delta = frontier;
+    let mut remaining = closure.max.map(|m| u64::from(m - closure.min));
+    while !delta.is_empty() && remaining != Some(0) {
+        let produced = apply_round(graph, delta, closure, strategy, stats);
+        let mut novel = Vec::new();
+        for entry in produced {
+            let key = (entry.source, entry.position);
+            let seen = reached.entry(key).or_default();
+            let fresh = IntervalSet::from_interval(entry.interval).difference(seen);
+            if fresh.is_empty() {
+                continue;
+            }
+            *seen = seen.union(&fresh);
+            novel.extend(fresh.intervals().iter().map(|&interval| FrontierEntry {
+                source: entry.source,
+                position: entry.position,
+                interval,
+            }));
+        }
+        // `novel` is already canonical: `produced` is sorted by (source, position)
+        // with per-key coalesced (disjoint, non-adjacent) intervals, and subtracting
+        // `seen` only carves pieces out of them in order.
+        delta = novel;
+        remaining = remaining.map(|r| r - 1);
+    }
+
+    let mut out = Vec::new();
+    for ((source, position), covered) in &reached {
+        let origin = &cursors[*source as usize];
+        for &interval in covered.intervals() {
+            out.push(origin.moved_to(*position, interval));
+        }
+    }
+    out
+}
+
+/// One application of the inner pipeline: every union alternative is applied to the
+/// frontier and the results are unioned and coalesced.
+fn apply_round(
+    graph: &GraphRelations,
+    mut frontier: Vec<FrontierEntry>,
+    closure: &ClosureOp,
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<FrontierEntry> {
+    stats.closure_rounds.fetch_add(1, Ordering::Relaxed);
+    let mut produced = Vec::new();
+    for (index, ops) in closure.alternatives.iter().enumerate() {
+        let input = if index + 1 == closure.alternatives.len() {
+            std::mem::take(&mut frontier)
+        } else {
+            frontier.clone()
+        };
+        produced.extend(apply_ops(graph, input, ops, strategy, stats));
+    }
+    coalesce_frontier(produced)
+}
+
+/// Canonicalises a frontier: groups entries by `(source, position)`, coalesces their
+/// intervals, and emits them in sorted order.  This keeps round inputs and outputs
+/// identical across join strategies and bounds the frontier size by the number of
+/// `(source, row)` pairs times the number of coalesced intervals.
+fn coalesce_frontier(entries: Vec<FrontierEntry>) -> Vec<FrontierEntry> {
+    let mut grouped: BTreeMap<(u32, Position), IntervalSet> = BTreeMap::new();
+    for entry in entries {
+        grouped.entry((entry.source, entry.position)).or_default().insert(entry.interval);
+    }
+    let mut out = Vec::new();
+    for ((source, position), set) in grouped {
+        out.extend(set.intervals().iter().map(|&interval| FrontierEntry {
+            source,
+            position,
+            interval,
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::plan::{HopDirection, MicroOp, ObjFilter};
+    use tgraph::ItpgBuilder;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    /// A meets-chain a → b → c → d with staggered edge validity:
+    /// a—b on [1,6], b—c on [4,8], c—d on [5,5].
+    fn chain_graph() -> GraphRelations {
+        let mut b = ItpgBuilder::new();
+        let na = b.add_node("a", "Person").unwrap();
+        let nb = b.add_node("b", "Person").unwrap();
+        let nc = b.add_node("c", "Person").unwrap();
+        let nd = b.add_node("d", "Person").unwrap();
+        let e1 = b.add_edge("e1", "meets", na, nb).unwrap();
+        let e2 = b.add_edge("e2", "meets", nb, nc).unwrap();
+        let e3 = b.add_edge("e3", "meets", nc, nd).unwrap();
+        for n in [na, nb, nc, nd] {
+            b.add_existence(n, iv(0, 9)).unwrap();
+        }
+        b.add_existence(e1, iv(1, 6)).unwrap();
+        b.add_existence(e2, iv(4, 8)).unwrap();
+        b.add_existence(e3, iv(5, 5)).unwrap();
+        GraphRelations::from_itpg(&b.domain(iv(0, 9)).build().unwrap())
+    }
+
+    fn meets_hop() -> Vec<MicroOp> {
+        vec![
+            MicroOp::Hop(HopDirection::Forward),
+            MicroOp::Filter(ObjFilter { label: Some("meets".into()), ..Default::default() }),
+            MicroOp::Hop(HopDirection::Forward),
+        ]
+    }
+
+    fn star() -> ClosureOp {
+        ClosureOp { alternatives: vec![meets_hop()], min: 0, max: None }
+    }
+
+    fn row_of(graph: &GraphRelations, name: &str) -> u32 {
+        graph
+            .node_rows()
+            .iter()
+            .position(|r| graph.object_name(tgraph::Object::Node(r.node)) == name)
+            .unwrap() as u32
+    }
+
+    fn reached(graph: &GraphRelations, out: &[Chain]) -> Vec<(String, Interval)> {
+        out.iter()
+            .map(|c| (graph.object_name(c.position.object(graph)).to_owned(), c.interval))
+            .collect()
+    }
+
+    fn run(graph: &GraphRelations, seeds: Vec<Chain>, op: &ClosureOp) -> Vec<Chain> {
+        let stats = StepStats::default();
+        let hash = apply_closure(graph, seeds.clone(), op, JoinStrategy::Hash, &stats);
+        for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+            let alt = apply_closure(graph, seeds.clone(), op, strategy, &stats);
+            let lhs: Vec<String> = hash.iter().map(|c| format!("{c:?}")).collect();
+            let rhs: Vec<String> = alt.iter().map(|c| format!("{c:?}")).collect();
+            assert_eq!(lhs, rhs, "{strategy} closure disagrees with hash");
+        }
+        hash
+    }
+
+    #[test]
+    fn star_reaches_transitively_with_narrowing_intervals() {
+        let g = chain_graph();
+        let seed = Chain::seed(row_of(&g, "a"), &g);
+        let out = run(&g, vec![seed], &star());
+        // 0 steps: a on [0,9]; 1 step: b on [1,6]; 2 steps: c on [4,6]; 3: d on [5,5].
+        assert_eq!(
+            reached(&g, &out),
+            vec![
+                ("a".to_owned(), iv(0, 9)),
+                ("b".to_owned(), iv(1, 6)),
+                ("c".to_owned(), iv(4, 6)),
+                ("d".to_owned(), iv(5, 5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn bounds_control_iteration_depth() {
+        let g = chain_graph();
+        let seed = || vec![Chain::seed(row_of(&g, "a"), &g)];
+        // Exactly two hops: only c, over the intersection [4,6].
+        let exact2 = ClosureOp { alternatives: vec![meets_hop()], min: 2, max: Some(2) };
+        assert_eq!(reached(&g, &run(&g, seed(), &exact2)), vec![("c".to_owned(), iv(4, 6))]);
+        // One to three hops: b, c and d but not the starting point.
+        let one_to_three = ClosureOp { alternatives: vec![meets_hop()], min: 1, max: Some(3) };
+        assert_eq!(
+            reached(&g, &run(&g, seed(), &one_to_three)),
+            vec![
+                ("b".to_owned(), iv(1, 6)),
+                ("c".to_owned(), iv(4, 6)),
+                ("d".to_owned(), iv(5, 5)),
+            ]
+        );
+        // Zero iterations only: the identity.
+        let zero = ClosureOp { alternatives: vec![meets_hop()], min: 0, max: Some(0) };
+        assert_eq!(reached(&g, &run(&g, seed(), &zero)), vec![("a".to_owned(), iv(0, 9))]);
+        // Unsatisfiable bounds relate nothing.
+        let unsat = ClosureOp { alternatives: vec![meets_hop()], min: 3, max: Some(1) };
+        assert!(run(&g, seed(), &unsat).is_empty());
+    }
+
+    #[test]
+    fn cycles_terminate_and_coalesce_coverage() {
+        // a → b → a cycle: the closure must reach the fixpoint and stop.
+        let mut b = ItpgBuilder::new();
+        let na = b.add_node("a", "Person").unwrap();
+        let nb = b.add_node("b", "Person").unwrap();
+        let e1 = b.add_edge("e1", "meets", na, nb).unwrap();
+        let e2 = b.add_edge("e2", "meets", nb, na).unwrap();
+        for o in [na, nb] {
+            b.add_existence(o, iv(0, 9)).unwrap();
+        }
+        b.add_existence(e1, iv(2, 5)).unwrap();
+        b.add_existence(e2, iv(4, 7)).unwrap();
+        let g = GraphRelations::from_itpg(&b.domain(iv(0, 9)).build().unwrap());
+        let stats = StepStats::default();
+        let out = apply_closure(
+            &g,
+            vec![Chain::seed(row_of(&g, "a"), &g)],
+            &star(),
+            JoinStrategy::Hash,
+            &stats,
+        );
+        // a over its whole row (0 steps; the [4,5] round trip adds no new coverage),
+        // b over the edge window [2,5].
+        assert_eq!(reached(&g, &out), vec![("a".to_owned(), iv(0, 9)), ("b".to_owned(), iv(2, 5))]);
+        assert!(stats.closure_rounds.load(Ordering::Relaxed) >= 2);
+    }
+
+    #[test]
+    fn union_alternatives_expand_both_directions() {
+        let g = chain_graph();
+        let backward = vec![
+            MicroOp::Hop(HopDirection::Backward),
+            MicroOp::Filter(ObjFilter { label: Some("meets".into()), ..Default::default() }),
+            MicroOp::Hop(HopDirection::Backward),
+        ];
+        let both = ClosureOp { alternatives: vec![meets_hop(), backward], min: 0, max: None };
+        let out = run(&g, vec![Chain::seed(row_of(&g, "c"), &g)], &both);
+        let names: Vec<String> = reached(&g, &out).into_iter().map(|(n, _)| n).collect();
+        // From c, forward reaches d, backward reaches b and then a.
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn existence_gaps_split_coverage() {
+        // The edge exists on two disjoint windows; coverage of b stays split.
+        let mut b = ItpgBuilder::new();
+        let na = b.add_node("a", "Person").unwrap();
+        let nb = b.add_node("b", "Person").unwrap();
+        let e1 = b.add_edge("e1", "meets", na, nb).unwrap();
+        for o in [na, nb] {
+            b.add_existence(o, iv(0, 9)).unwrap();
+        }
+        b.add_existence(e1, iv(1, 2)).unwrap();
+        b.add_existence(e1, iv(6, 7)).unwrap();
+        let g = GraphRelations::from_itpg(&b.domain(iv(0, 9)).build().unwrap());
+        let out = run(&g, vec![Chain::seed(row_of(&g, "a"), &g)], &star());
+        assert_eq!(
+            reached(&g, &out),
+            vec![
+                ("a".to_owned(), iv(0, 9)),
+                ("b".to_owned(), iv(1, 2)),
+                ("b".to_owned(), iv(6, 7)),
+            ]
+        );
+    }
+}

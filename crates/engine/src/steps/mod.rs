@@ -1,5 +1,18 @@
-//! The three evaluation steps of Section VI.
+//! The three evaluation steps of Section VI, plus the closure fixpoint operator.
 
+pub mod closure;
 pub mod expand;
 pub mod structural;
 pub mod temporal;
+
+use std::sync::atomic::AtomicUsize;
+
+/// Counters accumulated while running Steps 1–2, shared across the executor's worker
+/// threads (hence the atomics).
+#[derive(Debug, Default)]
+pub struct StepStats {
+    /// Number of closure fixpoint rounds executed: one count per application of a
+    /// [`crate::plan::ClosureOp`]'s inner pipeline to a frontier.  Zero for plans
+    /// without structural repetition.
+    pub closure_rounds: AtomicUsize,
+}

@@ -3,9 +3,10 @@
 //!
 //! A segment is a select–project–join pipeline evaluated entirely on intervals: every
 //! hop is a temporally-aligned join between the current chains and the adjacent
-//! Nodes/Edges rows (equal adjacency keys, intersecting validity intervals), and every
-//! filter prunes rows and clamps intervals.  The physical join implementation is
-//! selected by a [`JoinStrategy`]:
+//! Nodes/Edges rows (equal adjacency keys, intersecting validity intervals), every
+//! filter prunes rows and clamps intervals, and a [`MicroOp::Closure`] repeats an
+//! inner pipeline to a fixpoint (see [`crate::steps::closure`]).  The physical join
+//! implementation is selected by a [`JoinStrategy`]:
 //!
 //! * `Hash` probes the per-node adjacency indexes built at load time (a hash join
 //!   whose build side is precomputed);
@@ -13,24 +14,98 @@
 //!   [`GraphRelations`], sorting the chains by their join key first if needed;
 //! * `Auto` picks merge exactly when the chains are already key-sorted — which the
 //!   seed-row expansion naturally produces for the first hop — and hash otherwise.
+//!
+//! The pipeline is generic over a [`StructuralCursor`]: the executor drives it with
+//! full [`Chain`]s, while the closure operator drives the same joins with its
+//! lightweight tagged frontier entries (the "delta" of the semi-naive iteration).
 
 use dataflow::{interval_merge_join, is_key_sorted, JoinStrategy, ResolvedJoin};
+use tgraph::Interval;
 
 use crate::chain::{BoundVar, Chain, Position};
 use crate::plan::{HopDirection, MicroOp, ObjFilter, Segment};
 use crate::relations::GraphRelations;
+use crate::steps::closure::apply_closure;
+use crate::steps::StepStats;
+
+/// The state threaded through a structural pipeline: a position in the row relations
+/// plus the validity interval accumulated so far.  Implemented by [`Chain`] (the
+/// executor's full match state) and by the closure fixpoint's frontier entries.
+pub trait StructuralCursor: Clone {
+    /// The row the cursor currently sits on.
+    fn position(&self) -> Position;
+
+    /// The validity interval accumulated since the segment started.
+    fn interval(&self) -> Interval;
+
+    /// A copy of the cursor moved to another row with a narrowed interval.  Used by
+    /// hops, which fan one cursor out to several adjacent rows.
+    fn moved_to(&self, position: Position, interval: Interval) -> Self;
+
+    /// The cursor with its interval narrowed in place.  Used by filters, which keep
+    /// the position and never fan out, so no clone is needed.
+    fn with_interval(self, interval: Interval) -> Self;
+
+    /// Records a variable binding at the current position.  Only full chains carry
+    /// bindings; the compiler never places a [`MicroOp::Bind`] inside a closure, so
+    /// frontier cursors treat this as unreachable.
+    fn record_binding(&mut self, slot: u32, graph: &GraphRelations);
+}
+
+impl StructuralCursor for Chain {
+    fn position(&self) -> Position {
+        self.position
+    }
+
+    fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    fn moved_to(&self, position: Position, interval: Interval) -> Self {
+        let mut next = self.clone();
+        next.position = position;
+        next.interval = interval;
+        next
+    }
+
+    fn with_interval(mut self, interval: Interval) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    fn record_binding(&mut self, slot: u32, graph: &GraphRelations) {
+        self.bound.push(BoundVar {
+            slot,
+            segment: self.current_segment(),
+            object: self.position.object(graph),
+        });
+    }
+}
 
 /// Applies every operation of a segment to the given chains, returning the surviving
-/// chains.  Hops execute their joins according to `strategy`.
+/// chains.  Hops execute their joins according to `strategy`; closure rounds are
+/// counted in `stats`.
 pub fn apply_segment(
     graph: &GraphRelations,
     chains: Vec<Chain>,
     segment: &Segment,
     strategy: JoinStrategy,
+    stats: &StepStats,
 ) -> Vec<Chain> {
-    let mut current = chains;
-    for op in &segment.ops {
-        current = apply_op(graph, current, op, strategy);
+    apply_ops(graph, chains, &segment.ops, strategy, stats)
+}
+
+/// Applies a sequence of micro-operations to a batch of cursors.
+pub(crate) fn apply_ops<C: StructuralCursor>(
+    graph: &GraphRelations,
+    cursors: Vec<C>,
+    ops: &[MicroOp],
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<C> {
+    let mut current = cursors;
+    for op in ops {
+        current = apply_op(graph, current, op, strategy, stats);
         if current.is_empty() {
             break;
         }
@@ -38,71 +113,69 @@ pub fn apply_segment(
     current
 }
 
-fn apply_op(
+fn apply_op<C: StructuralCursor>(
     graph: &GraphRelations,
-    chains: Vec<Chain>,
+    cursors: Vec<C>,
     op: &MicroOp,
     strategy: JoinStrategy,
-) -> Vec<Chain> {
+    stats: &StepStats,
+) -> Vec<C> {
     match op {
         MicroOp::Filter(filter) => {
-            chains.into_iter().filter_map(|chain| apply_filter(graph, chain, filter)).collect()
+            cursors.into_iter().filter_map(|cursor| apply_filter(graph, cursor, filter)).collect()
         }
-        MicroOp::Bind(slot) => chains
+        MicroOp::Bind(slot) => cursors
             .into_iter()
-            .map(|mut chain| {
-                chain.bound.push(BoundVar {
-                    slot: *slot as u32,
-                    segment: chain.current_segment(),
-                    object: chain.position.object(graph),
-                });
-                chain
+            .map(|mut cursor| {
+                cursor.record_binding(*slot as u32, graph);
+                cursor
             })
             .collect(),
-        MicroOp::Hop(direction) => apply_hop(graph, chains, *direction, strategy),
+        MicroOp::Hop(direction) => apply_hop(graph, cursors, *direction, strategy),
+        MicroOp::Closure(closure) => apply_closure(graph, cursors, closure, strategy, stats),
     }
 }
 
-/// One structural step for a whole batch of chains: node → incident edge, or edge →
+/// One structural step for a whole batch of cursors: node → incident edge, or edge →
 /// endpoint node, keeping only temporally-aligned matches (non-empty interval
 /// intersections).  A batch is homogeneous in position kind by construction (hops
 /// alternate between node and edge rows), but both kinds are handled for robustness.
-fn apply_hop(
+fn apply_hop<C: StructuralCursor>(
     graph: &GraphRelations,
-    chains: Vec<Chain>,
+    cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
-) -> Vec<Chain> {
-    let (node_chains, edge_chains): (Vec<Chain>, Vec<Chain>) =
-        chains.into_iter().partition(|c| matches!(c.position, Position::NodeRow(_)));
-    let mut out = Vec::with_capacity(node_chains.len() + edge_chains.len());
-    if !node_chains.is_empty() {
-        hop_from_nodes(graph, node_chains, direction, strategy, &mut out);
+) -> Vec<C> {
+    let (node_cursors, edge_cursors): (Vec<C>, Vec<C>) =
+        cursors.into_iter().partition(|c| matches!(c.position(), Position::NodeRow(_)));
+    let mut out = Vec::with_capacity(node_cursors.len() + edge_cursors.len());
+    if !node_cursors.is_empty() {
+        hop_from_nodes(graph, node_cursors, direction, strategy, &mut out);
     }
-    if !edge_chains.is_empty() {
-        hop_from_edges(graph, edge_chains, direction, strategy, &mut out);
+    if !edge_cursors.is_empty() {
+        hop_from_edges(graph, edge_cursors, direction, strategy, &mut out);
     }
     out
 }
 
-/// Joins node-positioned chains with the Edges relation on the adjacency key
+/// Joins node-positioned cursors with the Edges relation on the adjacency key
 /// (source node for forward hops, target node for backward hops).
-fn hop_from_nodes(
+fn hop_from_nodes<C: StructuralCursor>(
     graph: &GraphRelations,
-    mut chains: Vec<Chain>,
+    mut cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
-    out: &mut Vec<Chain>,
+    out: &mut Vec<C>,
 ) {
-    let key = |c: &Chain| match c.position {
+    let key = |c: &C| match c.position() {
         Position::NodeRow(r) => graph.node_rows()[r as usize].node.index(),
-        Position::EdgeRow(_) => unreachable!("node hop over an edge-positioned chain"),
+        Position::EdgeRow(_) => unreachable!("node hop over an edge-positioned cursor"),
     };
-    let sorted = is_key_sorted(&chains, key);
+    let sorted = is_key_sorted(&cursors, key);
     match strategy.resolve(sorted) {
         ResolvedJoin::Hash => {
-            for chain in &chains {
-                let node = graph.node_rows()[match chain.position {
+            for cursor in &cursors {
+                let node = graph.node_rows()[match cursor.position() {
                     Position::NodeRow(r) => r,
                     Position::EdgeRow(_) => unreachable!(),
                 } as usize]
@@ -111,12 +184,12 @@ fn hop_from_nodes(
                     HopDirection::Forward => graph.out_edge_rows(node),
                     HopDirection::Backward => graph.in_edge_rows(node),
                 };
-                extend_with_edge_rows(graph, chain, rows, out);
+                extend_with_edge_rows(graph, cursor, rows, out);
             }
         }
         ResolvedJoin::Merge => {
             if !sorted {
-                chains.sort_by_key(key);
+                cursors.sort_by_key(key);
             }
             type EdgeKeyFn = fn(&GraphRelations, u32) -> usize;
             let (perm, edge_key): (&[u32], EdgeKeyFn) = match direction {
@@ -128,74 +201,72 @@ fn hop_from_nodes(
                 }
             };
             let joined = interval_merge_join(
-                &chains,
+                &cursors,
                 perm,
                 key,
                 |&r| edge_key(graph, r),
-                |c| c.interval,
+                |c| c.interval(),
                 |&r| graph.edge_rows()[r as usize].interval,
             );
-            out.extend(joined.into_iter().map(|(chain, &edge_row, interval)| {
-                let mut next = chain.clone();
-                next.position = Position::EdgeRow(edge_row);
-                next.interval = interval;
-                next
+            out.extend(joined.into_iter().map(|(cursor, &edge_row, interval)| {
+                cursor.moved_to(Position::EdgeRow(edge_row), interval)
             }));
         }
     }
 }
 
-/// Joins edge-positioned chains with the Nodes relation on the endpoint key
+/// Joins edge-positioned cursors with the Nodes relation on the endpoint key
 /// (target node for forward hops, source node for backward hops).
-fn hop_from_edges(
+fn hop_from_edges<C: StructuralCursor>(
     graph: &GraphRelations,
-    mut chains: Vec<Chain>,
+    mut cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
-    out: &mut Vec<Chain>,
+    out: &mut Vec<C>,
 ) {
-    let endpoint = |c: &Chain| {
-        let row = &graph.edge_rows()[match c.position {
+    let endpoint = |c: &C| {
+        let row = &graph.edge_rows()[match c.position() {
             Position::EdgeRow(r) => r,
-            Position::NodeRow(_) => unreachable!("edge hop over a node-positioned chain"),
+            Position::NodeRow(_) => unreachable!("edge hop over a node-positioned cursor"),
         } as usize];
         match direction {
             HopDirection::Forward => row.tgt,
             HopDirection::Backward => row.src,
         }
     };
-    let key = |c: &Chain| endpoint(c).index();
-    let sorted = is_key_sorted(&chains, key);
+    let key = |c: &C| endpoint(c).index();
+    let sorted = is_key_sorted(&cursors, key);
     match strategy.resolve(sorted) {
         ResolvedJoin::Hash => {
-            for chain in &chains {
-                extend_with_node_rows(graph, chain, graph.rows_of_node(endpoint(chain)), out);
+            for cursor in &cursors {
+                extend_with_node_rows(graph, cursor, graph.rows_of_node(endpoint(cursor)), out);
             }
         }
         ResolvedJoin::Merge => {
             if !sorted {
-                chains.sort_by_key(key);
+                cursors.sort_by_key(key);
             }
             let joined = interval_merge_join(
-                &chains,
+                &cursors,
                 graph.node_rows_sorted_by_id(),
                 key,
                 |&r| graph.node_rows()[r as usize].node.index(),
-                |c| c.interval,
+                |c| c.interval(),
                 |&r| graph.node_rows()[r as usize].interval,
             );
-            out.extend(joined.into_iter().map(|(chain, &node_row, interval)| {
-                let mut next = chain.clone();
-                next.position = Position::NodeRow(node_row);
-                next.interval = interval;
-                next
+            out.extend(joined.into_iter().map(|(cursor, &node_row, interval)| {
+                cursor.moved_to(Position::NodeRow(node_row), interval)
             }));
         }
     }
 }
 
-fn apply_filter(graph: &GraphRelations, mut chain: Chain, filter: &ObjFilter) -> Option<Chain> {
-    let ok = match chain.position {
+fn apply_filter<C: StructuralCursor>(
+    graph: &GraphRelations,
+    cursor: C,
+    filter: &ObjFilter,
+) -> Option<C> {
+    let ok = match cursor.position() {
         Position::NodeRow(r) => {
             let row = &graph.node_rows()[r as usize];
             filter.require_node != Some(false) && filter.matches_row(&row.label, &row.props)
@@ -208,40 +279,34 @@ fn apply_filter(graph: &GraphRelations, mut chain: Chain, filter: &ObjFilter) ->
     if !ok {
         return None;
     }
-    chain.interval = filter.clamp_interval(chain.interval)?;
-    Some(chain)
+    let interval = filter.clamp_interval(cursor.interval())?;
+    Some(cursor.with_interval(interval))
 }
 
-fn extend_with_edge_rows(
+fn extend_with_edge_rows<C: StructuralCursor>(
     graph: &GraphRelations,
-    chain: &Chain,
+    cursor: &C,
     rows: &[u32],
-    out: &mut Vec<Chain>,
+    out: &mut Vec<C>,
 ) {
     for &edge_row in rows {
         let row_interval = graph.edge_rows()[edge_row as usize].interval;
-        if let Some(interval) = chain.interval.intersect(&row_interval) {
-            let mut next = chain.clone();
-            next.position = Position::EdgeRow(edge_row);
-            next.interval = interval;
-            out.push(next);
+        if let Some(interval) = cursor.interval().intersect(&row_interval) {
+            out.push(cursor.moved_to(Position::EdgeRow(edge_row), interval));
         }
     }
 }
 
-fn extend_with_node_rows(
+fn extend_with_node_rows<C: StructuralCursor>(
     graph: &GraphRelations,
-    chain: &Chain,
+    cursor: &C,
     rows: &[u32],
-    out: &mut Vec<Chain>,
+    out: &mut Vec<C>,
 ) {
     for &node_row in rows {
         let row_interval = graph.node_rows()[node_row as usize].interval;
-        if let Some(interval) = chain.interval.intersect(&row_interval) {
-            let mut next = chain.clone();
-            next.position = Position::NodeRow(node_row);
-            next.interval = interval;
-            out.push(next);
+        if let Some(interval) = cursor.interval().intersect(&row_interval) {
+            out.push(cursor.moved_to(Position::NodeRow(node_row), interval));
         }
     }
 }
@@ -281,9 +346,10 @@ mod tests {
     /// the result multiset, and returns the hash-strategy result (whose order the
     /// expectations below are written against).
     fn apply_checked(graph: &GraphRelations, segment: &Segment) -> Vec<Chain> {
-        let hash = apply_segment(graph, seeds(graph), segment, JoinStrategy::Hash);
+        let stats = StepStats::default();
+        let hash = apply_segment(graph, seeds(graph), segment, JoinStrategy::Hash, &stats);
         for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
-            let alt = apply_segment(graph, seeds(graph), segment, strategy);
+            let alt = apply_segment(graph, seeds(graph), segment, strategy, &stats);
             let mut lhs: Vec<String> = hash.iter().map(|c| format!("{c:?}")).collect();
             let mut rhs: Vec<String> = alt.iter().map(|c| format!("{c:?}")).collect();
             lhs.sort();

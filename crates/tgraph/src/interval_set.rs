@@ -159,6 +159,39 @@ impl IntervalSet {
         IntervalSet { intervals: out }
     }
 
+    /// The set difference `self ∖ other` (coalesced).  Linear merge over the two
+    /// sorted interval lists: each interval of `self` is carved by the intervals of
+    /// `other` that overlap it, and the surviving pieces are emitted in order.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0usize;
+        for iv in &self.intervals {
+            // `lo` is the first time point of `iv` not yet covered by `other`.
+            let mut lo = iv.start();
+            let mut consumed = false;
+            while j < other.intervals.len() && other.intervals[j].end() < iv.start() {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.intervals.len() && other.intervals[k].start() <= iv.end() {
+                let cut = &other.intervals[k];
+                if cut.start() > lo {
+                    out.push(Interval::of(lo, cut.start() - 1));
+                }
+                if cut.end() >= iv.end() {
+                    consumed = true;
+                    break;
+                }
+                lo = cut.end() + 1;
+                k += 1;
+            }
+            if !consumed && lo <= iv.end() {
+                out.push(Interval::of(lo, iv.end()));
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
     /// Restricts the set to the time points that fall inside `window`.
     pub fn clamp(&self, window: &Interval) -> IntervalSet {
         IntervalSet {
@@ -287,6 +320,26 @@ mod tests {
         s.insert(iv(1, 2));
         s.insert(iv(9, 9));
         assert_eq!(s.intervals(), &[iv(1, 2), iv(5, 6), iv(9, 9)]);
+    }
+
+    #[test]
+    fn difference_carves_out_covered_points() {
+        let a = IntervalSet::from_intervals([iv(1, 10)]);
+        let b = IntervalSet::from_intervals([iv(3, 4), iv(7, 7)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(1, 2), iv(5, 6), iv(8, 10)]);
+        // Covering set removes everything; empty subtrahend removes nothing.
+        assert!(a.difference(&IntervalSet::from_interval(iv(0, 12))).is_empty());
+        assert_eq!(a.difference(&IntervalSet::empty()), a);
+        assert!(IntervalSet::empty().difference(&a).is_empty());
+        // Partial overlaps at both ends, across several intervals of self.
+        let c = IntervalSet::from_intervals([iv(0, 2), iv(5, 6), iv(9, 12)]);
+        let d = IntervalSet::from_intervals([iv(2, 5), iv(11, 20)]);
+        assert_eq!(c.difference(&d).intervals(), &[iv(0, 1), iv(6, 6), iv(9, 10)]);
+        assert!(c.difference(&d).is_coalesced());
+        // Point-wise cross-check.
+        for t in 0..=20 {
+            assert_eq!(c.difference(&d).contains(t), c.contains(t) && !d.contains(t), "t={t}");
+        }
     }
 
     #[test]

@@ -281,6 +281,30 @@ mod tests {
     }
 
     #[test]
+    fn unsatisfiable_indicator_is_empty() {
+        // Temporal arithmetic: no displacement satisfies N[3,1].
+        let g = single_node(10);
+        let p = Path::axis(Axis::Next).repeat(3, 1);
+        for d in 0..=5u64 {
+            assert!(!eval_contains_anoi(&p, &g, at(0), at(d)).unwrap(), "delta {d}");
+        }
+        // Structural reachability: F[3,1] finds no witness walk either.
+        let mut b = ItpgBuilder::new();
+        let a = b.add_node("a", "Person").unwrap();
+        let c = b.add_node("c", "Person").unwrap();
+        let e = b.add_edge("e", "meets", a, c).unwrap();
+        for o in [Object::Node(a), Object::Node(c), Object::Edge(e)] {
+            b.add_existence(o, Interval::of(0, 3)).unwrap();
+        }
+        let g2 = b.domain(Interval::of(0, 3)).build().unwrap();
+        let f = Path::axis(Axis::Fwd).repeat(3, 1);
+        let src = TemporalObject::new(Object::Node(a), 1);
+        for dst in [Object::Node(a), Object::Node(c), Object::Edge(e)] {
+            assert!(!eval_contains_anoi(&f, &g2, src, TemporalObject::new(dst, 1)).unwrap());
+        }
+    }
+
+    #[test]
     fn concatenation_with_tests() {
         let g = single_node(10);
         let p = Path::test(TestExpr::Exists)

@@ -130,7 +130,11 @@ impl<'g> FullSolver<'g> {
         src: TemporalObject,
         dst: TemporalObject,
     ) -> bool {
-        assert!(n <= m, "invalid occurrence indicator [{n}, {m}]");
+        // An unsatisfiable indicator [n, m] with n > m is the union over an empty set
+        // of repetition counts: it relates nothing.
+        if n > m {
+            return false;
+        }
         let key = RepeatKey { expr: inner as *const Path as usize, lo: n, hi: m, src, dst };
         if let Some(&cached) = self.repeat_memo.get(&key) {
             return cached;
@@ -288,6 +292,21 @@ mod tests {
             let expected = (2..=6).contains(&d);
             assert_eq!(eval_contains_full(&p, &g, at(1), at(1 + d)), expected, "delta {d}");
         }
+    }
+
+    #[test]
+    fn unsatisfiable_indicator_is_empty() {
+        // N[3,1] relates nothing — no panic, no spurious matches, even nested.
+        let g = single_node(10);
+        let p = Path::axis(Axis::Next).repeat(3, 1);
+        for d in 0..=5u64 {
+            assert!(!eval_contains_full(&p, &g, at(0), at(d)), "delta {d}");
+        }
+        let nested = Path::axis(Axis::Next).repeat(3, 1).or(Path::axis(Axis::Next).repeat(1, 1));
+        assert!(eval_contains_full(&nested, &g, at(0), at(1)));
+        assert!(!eval_contains_full(&nested, &g, at(0), at(2)));
+        let seq = Path::test(TestExpr::Exists).then(Path::axis(Axis::Next).repeat(2, 0));
+        assert!(!eval_contains_full(&seq, &g, at(0), at(0)));
     }
 
     #[test]

@@ -216,9 +216,12 @@ impl QuadTable {
     }
 
     /// Bounded repetition `self[n, m]`, decomposed as `self[n, n] / self[0, m − n]`
-    /// exactly as in the proof of Theorem C.1.
+    /// exactly as in the proof of Theorem C.1.  An unsatisfiable range (`n > m`) is
+    /// the union over the empty set of repetition counts, i.e. the empty relation.
     pub fn repeat_range(&self, n: u32, m: u32, universe: &QuadTable) -> QuadTable {
-        assert!(n <= m, "lower repetition bound {n} exceeds upper bound {m}");
+        if n > m {
+            return QuadTable::empty();
+        }
         let exact = self.repeat_exact(n, universe);
         if n == m {
             exact
@@ -362,9 +365,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lower repetition bound")]
-    fn invalid_range_panics() {
-        let t = QuadTable::empty();
-        t.repeat_range(3, 1, &QuadTable::empty());
+    fn unsatisfiable_range_is_empty() {
+        // r[3,1] is the union over an empty set of repetition counts: nothing, even
+        // when the base relation and the universe are non-trivial.
+        let chain = QuadTable::from_quads([q((0, 0), (1, 0)), q((1, 0), (2, 0))]);
+        let uni = universe(3, 1);
+        assert!(chain.repeat_range(3, 1, &uni).is_empty());
+        assert!(chain.repeat_range(1, 0, &uni).is_empty());
+        assert!(QuadTable::empty().repeat_range(3, 1, &QuadTable::empty()).is_empty());
     }
 }

@@ -334,6 +334,16 @@ mod tests {
     }
 
     #[test]
+    fn unsatisfiable_indicator_is_empty() {
+        // NEXT[3,1] relates nothing over the whole relation, and composes to nothing.
+        let g = sample();
+        let p = Path::axis(Axis::Next).repeat(3, 1);
+        assert!(eval_path(&p, &g).is_empty());
+        let seq = Path::test(TestExpr::label("Person")).then(p);
+        assert!(eval_path(&seq, &g).is_empty());
+    }
+
+    #[test]
     fn path_conditions_inspect_the_future() {
         let g = sample();
         // Temporal objects from which a positive test is reachable by moving forward

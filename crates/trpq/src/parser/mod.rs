@@ -476,11 +476,9 @@ impl Parser {
                     })?),
                     None => None,
                 };
-                if let Some(h) = hi {
-                    if lo > h {
-                        return self.error(format!("invalid occurrence indicator [{lo}, {h}]"));
-                    }
-                }
+                // An indicator with `lo > hi` is grammatically valid; its repetition
+                // range is empty, so the expression relates nothing (the rewrite and
+                // the evaluators give it the empty semantics).
                 Ok(Some((lo, hi)))
             }
             _ => Ok(None),
@@ -628,9 +626,17 @@ mod tests {
         assert!(parse_match("MATCH x:Person ON g").is_err());
         assert!(parse_match("MATCH (x:Person {risk > 'low'}) ON g").is_err());
         assert!(parse_match("MATCH (x)-/UP/-(y) ON g").is_err());
-        assert!(parse_match("MATCH (x)-/NEXT[5,2]/-(y) ON g").is_err());
         assert!(parse_match("MATCH (x)-/NEXT/-(y) ON g extra").is_err());
         assert!(parse_regex("FWD/").is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_indicators_parse() {
+        // [n, m] with n > m is grammatically valid; its semantics (the union over an
+        // empty set of repetition counts) is the empty relation, decided downstream.
+        let r = parse_regex("NEXT[5,2]").unwrap();
+        assert_eq!(r.alternatives[0].items[0].repeat, Some((5, Some(2))));
+        assert!(parse_match("MATCH (x)-/FWD[3,1]/-(y) ON g").is_ok());
     }
 
     #[test]
