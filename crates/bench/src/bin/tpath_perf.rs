@@ -112,8 +112,9 @@ fn matrix_scales(smoke: bool) -> Vec<(String, ContactTracingConfig)> {
 }
 
 /// The queries of the matrix: the paper's Q1–Q12 (or a representative subset in
-/// smoke mode) plus the REACH star-closure reachability query, which exercises the
-/// engine's fixpoint operator.
+/// smoke mode) plus the REACH star-closure reachability query (the engine's
+/// structural fixpoint) and the RECUR recurring-contact query (the time-aware mixed
+/// fixpoint).
 fn matrix_queries(smoke: bool) -> Vec<(&'static str, MatchClause)> {
     let ids = if smoke {
         // One purely structural query, one structural join, one temporal query.
@@ -126,6 +127,10 @@ fn matrix_queries(smoke: bool) -> Vec<(&'static str, MatchClause)> {
     queries.push((
         bench::REACH_QUERY_NAME,
         trpq::parser::parse_match(bench::REACH_QUERY_TEXT).expect("the REACH query parses"),
+    ));
+    queries.push((
+        bench::RECUR_QUERY_NAME,
+        trpq::parser::parse_match(bench::RECUR_QUERY_TEXT).expect("the RECUR query parses"),
     ));
     queries
 }

@@ -26,6 +26,16 @@ pub const REACH_QUERY_NAME: &str = "REACH";
 pub const REACH_QUERY_TEXT: &str = "MATCH (x:Person {risk = 'high'})\
                                     -/(FWD/:meets/FWD)*/-(y:Person) ON contact_tracing";
 
+/// Name of the recurring-contact workload in perf reports: chains of meetings each
+/// followed by a step forward in time, ending on a positive test — *mixed*
+/// structural/temporal repetition, executed by the engine's time-aware closure.
+pub const RECUR_QUERY_NAME: &str = "RECUR";
+
+/// Text of the [`RECUR_QUERY_NAME`] workload.
+pub const RECUR_QUERY_TEXT: &str = "MATCH (x:Person {risk = 'high'})\
+                                    -/(FWD/:meets/FWD/NEXT)*/NEXT*/-({test = 'pos'}) \
+                                    ON contact_tracing";
+
 /// The scale divisor taken from `TPATH_SCALE_DIVISOR` (default 25).
 pub fn scale_divisor() -> usize {
     std::env::var("TPATH_SCALE_DIVISOR").ok().and_then(|s| s.parse().ok()).unwrap_or(25)
@@ -178,6 +188,14 @@ mod tests {
     fn reach_query_parses_and_measures() {
         let (graph, _) = build_graph_with(ContactTracingConfig::with_persons(60));
         let clause = trpq::parser::parse_match(REACH_QUERY_TEXT).unwrap();
+        let m = measure_clause(&clause, &graph, &ExecutionOptions::sequential());
+        assert!(m.total_seconds >= m.interval_seconds);
+    }
+
+    #[test]
+    fn recur_query_parses_and_measures() {
+        let (graph, _) = build_graph_with(ContactTracingConfig::with_persons(60));
+        let clause = trpq::parser::parse_match(RECUR_QUERY_TEXT).unwrap();
         let m = measure_clause(&clause, &graph, &ExecutionOptions::sequential());
         assert!(m.total_seconds >= m.interval_seconds);
     }

@@ -1,6 +1,6 @@
 //! Intermediate state of plan evaluation: partially-matched pattern instances.
 
-use tgraph::{Interval, Object};
+use tgraph::{Interval, Object, Time};
 
 use crate::relations::GraphRelations;
 
@@ -33,6 +33,36 @@ impl Position {
     }
 }
 
+/// The admissible time skew across a time-crossing closure boundary: arrival minus
+/// departure lies in `[lo, hi]` (signed — backward navigation yields negative lags).
+///
+/// Together with the departure and arrival intervals of the two segments it delimits,
+/// a lag describes *exactly* the set of `(departure, arrival)` pairs the closure
+/// relates for one chain: three interval constraints on a line always admit a common
+/// witness when they pairwise intersect (Helly's theorem in dimension one), so
+/// composing the per-step constraints loses no precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimeLag {
+    /// Minimum signed arrival − departure difference.
+    pub lo: i128,
+    /// Maximum signed arrival − departure difference.
+    pub hi: i128,
+}
+
+impl TimeLag {
+    /// The zero lag: arrival equals departure.
+    pub fn zero() -> Self {
+        TimeLag { lo: 0, hi: 0 }
+    }
+
+    /// True if moving from departure time `from` to arrival time `to` respects the
+    /// lag bounds.
+    pub fn admits(&self, from: Time, to: Time) -> bool {
+        let delta = to as i128 - from as i128;
+        self.lo <= delta && delta <= self.hi
+    }
+}
+
 /// One binding recorded while matching: `(variable slot, segment index, object)`.
 /// The binding time is the time point eventually chosen for that segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +80,10 @@ pub struct BoundVar {
 pub struct Chain {
     /// Final validity intervals of the segments completed so far, in order.
     pub seg_intervals: Vec<Interval>,
+    /// The admissible time skew of every time-crossing closure boundary crossed so
+    /// far, in crossing order.  Plain shift boundaries carry their constraint in the
+    /// plan ([`crate::plan::TemporalLink::Shift`]) and contribute no entry here.
+    pub lags: Vec<TimeLag>,
     /// Variables bound so far.
     pub bound: Vec<BoundVar>,
     /// The cursor position within the current segment.
@@ -66,6 +100,7 @@ impl Chain {
         let position = Position::NodeRow(row_index);
         Chain {
             seg_intervals: Vec::new(),
+            lags: Vec::new(),
             bound: Vec::new(),
             position,
             interval: position.row_interval(graph),

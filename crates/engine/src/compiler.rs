@@ -1,17 +1,16 @@
 //! Compilation of parsed `MATCH` clauses into engine plans.
 //!
-//! The engine implements the fragment of `NavL[PC,NOI]` that covers all the queries of
-//! Section IV and the reachability family beyond them: patterns whose regular
-//! expressions combine structural steps (`FWD`/`BWD` and label / property tests,
-//! optionally under repetition — compiled to the [`MicroOp::Closure`] fixpoint
+//! The engine implements the whole practical `MATCH` surface syntax: patterns whose
+//! regular expressions combine structural steps (`FWD`/`BWD` and label / property
+//! tests, optionally under repetition — compiled to the [`MicroOp::Closure`] fixpoint
 //! operator) with temporal navigation (`NEXT`/`PREV`, optionally carrying a numerical
-//! occurrence indicator or the Kleene star), plus unions.  Degenerate indicators are
-//! normalised during compilation: `p[1,1]` is `p`, `p[0,0]` is the empty path, and an
-//! unsatisfiable `p[n,m]` with `n > m` relates nothing (its alternative is dropped).
-//! Only repetition of a group that *mixes* structural and temporal navigation (e.g.
-//! `(FWD/NEXT)*`) falls outside the fragment and is rejected with
-//! [`QueryError::UnsupportedFragment`]; the reference evaluators in the `trpq` crate
-//! cover the full language on point-timestamped graphs.
+//! occurrence indicator or the Kleene star), plus unions.  Repetition of a group that
+//! *mixes* structural and temporal navigation (e.g. `(FWD/NEXT)*`) compiles to a
+//! [`TemporalLink::Closure`] — the time-aware fixpoint of
+//! [`crate::steps::closure`] — which splits the surrounding segments the same way a
+//! plain shift does.  Degenerate indicators are normalised during compilation:
+//! `p[1,1]` is `p`, `p[0,0]` is the empty path, and an unsatisfiable `p[n,m]` with
+//! `n > m` relates nothing (its alternative is dropped).
 
 use dataflow::JoinStrategy;
 use trpq::ast::Axis;
@@ -21,7 +20,8 @@ use trpq::parser::{
 use trpq::{QueryError, Result};
 
 use crate::plan::{
-    ClosureOp, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
+    ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
+    TemporalLink,
 };
 
 /// Compiles a parsed clause into a set of engine plans (one per union alternative),
@@ -71,21 +71,26 @@ pub fn compile_with_strategy(clause: &MatchClause, strategy: JoinStrategy) -> Re
     Ok(PlanSet { plans, variables, graph: clause.graph.clone(), join_strategy: strategy })
 }
 
-/// Intermediate op used during compilation: either a structural micro-op or a
-/// temporal shift separating two segments.
+/// Intermediate op used during compilation: a structural micro-op, a temporal shift
+/// separating two segments, or a time-crossing closure doing the same.
 #[derive(Debug, Clone, PartialEq)]
 enum PlanOp {
     Micro(MicroOp),
     Shift(Shift),
+    TimeClosure(ClosureOp),
 }
 
 fn assemble_plan(ops: Vec<PlanOp>) -> Result<EnginePlan> {
-    let mut plan = EnginePlan { segments: vec![Segment::default()], shifts: Vec::new() };
+    let mut plan = EnginePlan { segments: vec![Segment::default()], links: Vec::new() };
     for op in ops {
         match op {
             PlanOp::Micro(m) => plan.segments.last_mut().expect("at least one segment").ops.push(m),
             PlanOp::Shift(s) => {
-                plan.shifts.push(s);
+                plan.links.push(TemporalLink::Shift(s));
+                plan.segments.push(Segment::default());
+            }
+            PlanOp::TimeClosure(c) => {
+                plan.links.push(TemporalLink::Closure(c));
                 plan.segments.push(Segment::default());
             }
         }
@@ -155,12 +160,6 @@ fn compile_regex(regex: &Regex, variables: &[String]) -> Result<Vec<Vec<PlanOp>>
 }
 
 fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<PlanOp>>> {
-    let unsupported = |reason: &str| -> Result<Vec<Vec<PlanOp>>> {
-        Err(QueryError::UnsupportedFragment {
-            expression: format!("{item:?}"),
-            reason: reason.to_owned(),
-        })
-    };
     let Some((min, max)) = item.repeat else {
         return compile_regex_atom(&item.atom, variables);
     };
@@ -188,11 +187,11 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
         RegexAtom::Axis(axis @ (Axis::Fwd | Axis::Bwd)) => {
             let hop =
                 if *axis == Axis::Fwd { HopDirection::Forward } else { HopDirection::Backward };
-            Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(ClosureOp {
-                alternatives: vec![vec![MicroOp::Hop(hop)]],
+            Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(ClosureOp::structural(
+                vec![vec![MicroOp::Hop(hop)]],
                 min,
                 max,
-            }))]])
+            )))]])
         }
         // A test is idempotent, so test[n,m] is the test itself when at least one
         // repetition is required; with n = 0 the zero-repetition identity absorbs it.
@@ -205,22 +204,25 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
         }
         RegexAtom::Group(inner) => {
             // A purely temporal group (a single NEXT/PREV, possibly with an existing
-            // indicator), e.g. (NEXT)[0,12], composes into one shift.
+            // indicator), e.g. (NEXT)[0,12], composes into one shift when the set of
+            // reachable step counts stays contiguous; otherwise it falls through to
+            // the general time-aware closure below.
             if let Some(shift) = purely_temporal_group(inner) {
                 if shift.is_unsatisfiable() {
                     // The inner expression relates nothing: the repetition is the
                     // identity when zero iterations are allowed and empty otherwise.
                     return Ok(if min == 0 { vec![Vec::new()] } else { Vec::new() });
                 }
-                return match combine_repetition(shift, (min, max)) {
-                    Some(s) => Ok(vec![vec![PlanOp::Shift(s)]]),
-                    None => unsupported("nested temporal repetitions with incompatible bounds"),
-                };
+                if let Some(s) = combine_repetition(shift, (min, max)) {
+                    return Ok(vec![vec![PlanOp::Shift(s)]]);
+                }
             }
-            // A purely structural group becomes a closure whose alternatives are the
-            // compiled union branches of the inner expression (unions must stay
-            // inside the fixpoint: the closure of a union is not the union of the
-            // closures).
+            // The general case: a closure whose alternatives are the compiled union
+            // branches of the inner expression (unions must stay inside the fixpoint:
+            // the closure of a union is not the union of the closures).  A purely
+            // structural body stays a segment micro-op; a body that moves through
+            // time — any shift, or a nested time-crossing closure — becomes a
+            // time-aware closure link splitting the surrounding segments.
             let inner_alternatives = compile_regex(inner, variables)?;
             if inner_alternatives.is_empty() {
                 // Every inner branch was unsatisfiable.
@@ -228,22 +230,22 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
             }
             let mut alternatives = Vec::with_capacity(inner_alternatives.len());
             for alternative in inner_alternatives {
-                let mut ops = Vec::with_capacity(alternative.len());
-                for op in alternative {
-                    match op {
-                        PlanOp::Micro(m) => ops.push(m),
-                        PlanOp::Shift(_) => {
-                            return unsupported(
-                                "repetition of a group containing temporal navigation is \
-                                 outside the engine fragment (only a single repeated \
-                                 NEXT/PREV composes into a shift)",
-                            )
-                        }
-                    }
-                }
-                alternatives.push(ops);
+                let steps = alternative
+                    .into_iter()
+                    .map(|op| match op {
+                        PlanOp::Micro(m) => ClosureStep::Micro(m),
+                        PlanOp::Shift(s) => ClosureStep::Shift(s),
+                        PlanOp::TimeClosure(c) => ClosureStep::Micro(MicroOp::Closure(c)),
+                    })
+                    .collect();
+                alternatives.push(steps);
             }
-            Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(ClosureOp { alternatives, min, max }))]])
+            let closure = ClosureOp { alternatives, min, max };
+            if closure.is_time_crossing() {
+                Ok(vec![vec![PlanOp::TimeClosure(closure)]])
+            } else {
+                Ok(vec![vec![PlanOp::Micro(MicroOp::Closure(closure))]])
+            }
         }
     }
 }
@@ -345,6 +347,11 @@ mod tests {
         compile(&parse_match(text).unwrap()).unwrap()
     }
 
+    /// The plan's links, asserted to all be plain shifts.
+    fn shifts(plan: &EnginePlan) -> Vec<Shift> {
+        plan.links.iter().map(|l| *l.as_shift().expect("link is a plain shift")).collect()
+    }
+
     #[test]
     fn q1_compiles_to_a_single_filter_segment() {
         let plan_set = compile_text("MATCH (x:Person) ON contact_tracing");
@@ -376,19 +383,19 @@ mod tests {
             compile_text("MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) ON g");
         let plan = &plan_set.plans[0];
         assert_eq!(plan.segments.len(), 2);
-        assert_eq!(plan.shifts, vec![Shift { forward: false, min: 1, max: Some(1) }]);
+        assert_eq!(shifts(plan), vec![Shift { forward: false, min: 1, max: Some(1) }]);
         // Segment 1 holds the structural part after PREV plus the Room filter/bind.
         assert!(plan.segments[1].ops.len() >= 4);
         assert_eq!(plan.segments[1].bound_slots(), vec![1]);
 
         let star =
             compile_text("MATCH (x:Person {test = 'pos'})-/PREV*/FWD/:visits/FWD/-(z:Room) ON g");
-        assert_eq!(star.plans[0].shifts, vec![Shift { forward: false, min: 0, max: None }]);
+        assert_eq!(shifts(&star.plans[0]), vec![Shift { forward: false, min: 0, max: None }]);
 
         let bounded = compile_text(
             "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT[0,12]/-({test = 'pos'}) ON g",
         );
-        assert_eq!(bounded.plans[0].shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+        assert_eq!(shifts(&bounded.plans[0]), vec![Shift { forward: true, min: 0, max: Some(12) }]);
     }
 
     #[test]
@@ -398,7 +405,7 @@ mod tests {
         // Both alternatives end with the same NEXT[0,12] shift and a final filter.
         for plan in &plan_set.plans {
             assert_eq!(plan.segments.len(), 2);
-            assert_eq!(plan.shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+            assert_eq!(shifts(plan), vec![Shift { forward: true, min: 0, max: Some(12) }]);
         }
         // The meets alternative is shorter than the visits alternative.
         let lengths: Vec<usize> = plan_set.plans.iter().map(|p| p.segments[0].ops.len()).collect();
@@ -416,14 +423,49 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_constructs_are_rejected() {
-        // Repetition of a group mixing structural and temporal navigation.
-        let err =
-            compile(&parse_match("MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g").unwrap()).unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
-        let err = compile(&parse_match("MATCH (x)-/(FWD/:meets/FWD/PREV)*/-(y) ON g").unwrap())
-            .unwrap_err();
-        assert!(matches!(err, QueryError::UnsupportedFragment { .. }));
+    fn mixed_repetition_compiles_to_a_time_aware_closure() {
+        // Repetition of a group mixing structural and temporal navigation used to be
+        // rejected with `UnsupportedFragment`; it now compiles to a closure *link*
+        // splitting the surrounding segments like a shift does.
+        for text in [
+            "MATCH (x)-/(FWD/NEXT)[0,3]/-(y) ON g",
+            "MATCH (x)-/(FWD/:meets/FWD/PREV)*/-(y) ON g",
+            "MATCH (x)-/(FWD/:meets/FWD/NEXT)*/-(y) ON g",
+        ] {
+            let plan_set = compile(&parse_match(text).unwrap()).unwrap();
+            assert_eq!(plan_set.plans.len(), 1, "{text}");
+            let plan = &plan_set.plans[0];
+            assert_eq!(plan.segments.len(), 2, "{text}");
+            assert!(!plan.is_purely_structural(), "{text}");
+            match &plan.links[0] {
+                TemporalLink::Closure(closure) => {
+                    assert!(closure.is_time_crossing(), "{text}");
+                    assert!(closure
+                        .alternatives
+                        .iter()
+                        .flatten()
+                        .any(|s| matches!(s, ClosureStep::Shift(_))));
+                }
+                other => panic!("{text}: expected a closure link, got {other:?}"),
+            }
+        }
+
+        // A nested time-crossing closure rides inside the outer closure's steps.
+        let nested = compile_text("MATCH (x)-/((FWD/NEXT)[1,2]/BWD)*/-(y) ON g");
+        match &nested.plans[0].links[0] {
+            TemporalLink::Closure(outer) => {
+                assert!(outer.alternatives[0].iter().any(|s| matches!(
+                    s,
+                    ClosureStep::Micro(MicroOp::Closure(inner)) if inner.is_time_crossing()
+                )));
+            }
+            other => panic!("expected a closure link, got {other:?}"),
+        }
+
+        // Non-contiguous nested temporal repetitions, previously rejected, now run as
+        // a time-aware closure as well: (NEXT[2,3])[0,2] reaches {0, 2..6} steps.
+        let gappy = compile_text("MATCH (x)-/(NEXT[2,3])[0,2]/-(y) ON g");
+        assert!(matches!(gappy.plans[0].links[0], TemporalLink::Closure(_)));
     }
 
     /// The closure op of the first segment of the first plan.
@@ -445,7 +487,11 @@ mod tests {
         let closure = find_closure(&plan_set);
         assert_eq!(closure.min, 0);
         assert_eq!(closure.max, None);
-        assert_eq!(closure.alternatives, vec![vec![MicroOp::Hop(HopDirection::Forward)]]);
+        assert!(!closure.is_time_crossing());
+        assert_eq!(
+            closure.alternatives,
+            vec![vec![ClosureStep::Micro(MicroOp::Hop(HopDirection::Forward))]]
+        );
 
         // The iconic contact-chain query: a repeated structural group.
         let plan_set = compile_text("MATCH (x)-/(FWD/:meets/FWD)*/-(y) ON g");
@@ -464,7 +510,7 @@ mod tests {
         // Nested repetition of structural groups also stays in the fragment.
         let nested = compile_text("MATCH (x)-/((FWD/:meets/FWD)[1,2])*/-(y) ON g");
         let outer = find_closure(&nested);
-        assert!(matches!(outer.alternatives[0][0], MicroOp::Closure(_)));
+        assert!(matches!(outer.alternatives[0][0], ClosureStep::Micro(MicroOp::Closure(_))));
     }
 
     #[test]
@@ -520,9 +566,15 @@ mod tests {
     #[test]
     fn repeated_purely_temporal_groups_compose() {
         let plan_set = compile_text("MATCH (x)-/(NEXT)[0,12]/-(y) ON g");
-        assert_eq!(plan_set.plans[0].shifts, vec![Shift { forward: true, min: 0, max: Some(12) }]);
+        assert_eq!(
+            shifts(&plan_set.plans[0]),
+            vec![Shift { forward: true, min: 0, max: Some(12) }]
+        );
         let plan_set = compile_text("MATCH (x)-/(PREV[2,3])[2,2]/-(y) ON g");
-        assert_eq!(plan_set.plans[0].shifts, vec![Shift { forward: false, min: 4, max: Some(6) }]);
+        assert_eq!(
+            shifts(&plan_set.plans[0]),
+            vec![Shift { forward: false, min: 4, max: Some(6) }]
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@ use trpq::Result;
 use crate::bindings::{Binding, BindingTable};
 use crate::chain::Chain;
 use crate::compiler::compile;
-use crate::plan::{EnginePlan, PlanSet};
+use crate::plan::{EnginePlan, PlanSet, TemporalLink};
 use crate::relations::GraphRelations;
+use crate::steps::closure::apply_time_closure;
 use crate::steps::expand::{expand_chains, expand_chunk_sorted};
 use crate::steps::structural::apply_segment;
 use crate::steps::temporal::apply_shift;
@@ -79,6 +80,10 @@ pub struct QueryStats {
     /// repeated structural sub-expression to a frontier); 0 for plans without
     /// structural repetition.
     pub closure_rounds: usize,
+    /// Number of time-crossing closure rounds executed (applications of a repeated
+    /// group mixing structural and temporal navigation, e.g. `(FWD/NEXT)*`, to a
+    /// band frontier); 0 for plans without mixed repetition.
+    pub time_rounds: usize,
 }
 
 /// The result of executing a query: the binding table plus measurements.
@@ -146,10 +151,18 @@ pub fn execute(
     let total_time = start.elapsed();
     let output_rows = table.len();
     let closure_rounds = step_stats.closure_rounds.load(Ordering::Relaxed);
+    let time_rounds = step_stats.time_closure_rounds.load(Ordering::Relaxed);
 
     QueryOutput {
         table,
-        stats: QueryStats { interval_time, total_time, interval_rows, output_rows, closure_rounds },
+        stats: QueryStats {
+            interval_time,
+            total_time,
+            interval_rows,
+            output_rows,
+            closure_rounds,
+            time_rounds,
+        },
     }
 }
 
@@ -186,9 +199,9 @@ pub fn execute_query(
 
 /// Runs Steps 1–2 of a single plan: seeds the first segment with every node row
 /// (chunked across worker threads), then alternates structural segments and temporal
-/// shifts.  The seed rows of every chunk are ascending node-row indices, so the first
-/// hop of each chunk sees key-sorted input — which is what lets `Auto` start on the
-/// merge path.
+/// links (plain shifts or time-aware closures).  The seed rows of every chunk are
+/// ascending node-row indices, so the first hop of each chunk sees key-sorted input —
+/// which is what lets `Auto` start on the merge path.
 fn run_plan(
     plan: &EnginePlan,
     graph: &GraphRelations,
@@ -201,7 +214,12 @@ fn run_plan(
         let mut chains: Vec<Chain> = rows.iter().map(|&r| Chain::seed(r, graph)).collect();
         for (index, segment) in plan.segments.iter().enumerate() {
             if index > 0 {
-                chains = apply_shift(graph, chains, &plan.shifts[index - 1]);
+                chains = match &plan.links[index - 1] {
+                    TemporalLink::Shift(shift) => apply_shift(graph, chains, shift),
+                    TemporalLink::Closure(closure) => {
+                        apply_time_closure(graph, chains, closure, strategy, stats)
+                    }
+                };
             }
             chains = apply_segment(graph, chains, segment, strategy, stats);
             if chains.is_empty() {
@@ -373,6 +391,61 @@ mod tests {
             names(&g, &temporal),
             vec![vec!["mia".to_string(), "2".into()], vec!["mia".to_string(), "3".into()]]
         );
+    }
+
+    #[test]
+    fn mixed_repetition_runs_on_the_engine() {
+        let g = relations();
+        // The transitive Q9: chains of meetings, each followed by a forward walk in
+        // time, ending on someone who tests positive.  On the tiny graph one
+        // iteration connects mia's meeting times to eve's positive window.
+        let out = execute_text(
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD/NEXT*)[1,_]/-({test = 'pos'}) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(
+            names(&g, &out),
+            vec![vec!["mia".to_string(), "2".into()], vec!["mia".to_string(), "3".into()]]
+        );
+        assert!(out.stats.time_rounds > 0, "the time-aware fixpoint must have iterated");
+        assert_eq!(out.stats.closure_rounds, 0, "no structural closure in this plan");
+
+        // The strict recurrence (exactly one step forward after each meeting) finds
+        // nothing here: eve meets no one after meeting mia.
+        let strict = execute_text(
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD/NEXT)*/-({test = 'pos'}) ON g",
+            &g,
+            &ExecutionOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(strict.stats.output_rows, 0);
+
+        // All strategies and parallel execution agree on the mixed plan.
+        for query in [
+            "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD/NEXT*)[1,_]/-({test = 'pos'}) ON g",
+            "MATCH (x:Person)-/(FWD/:meets/FWD/NEXT)[0,2]/-(y:Person) ON g",
+            "MATCH (x:Person)-/(BWD/:meets/BWD/PREV)*/-(y:Person) ON g",
+        ] {
+            let hash = execute_text(
+                query,
+                &g,
+                &ExecutionOptions::sequential().with_strategy(JoinStrategy::Hash),
+            )
+            .unwrap();
+            for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+                let alt = execute_text(
+                    query,
+                    &g,
+                    &ExecutionOptions::sequential().with_strategy(strategy),
+                )
+                .unwrap();
+                assert_eq!(hash.table, alt.table, "{query} under {strategy}");
+            }
+            let par = execute_text(query, &g, &ExecutionOptions::with_threads(4)).unwrap();
+            assert_eq!(hash.table, par.table, "{query} in parallel");
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! navigation is pruned with interval arithmetic (Step 2), and the final binding table
 //! is expanded to point-based bindings only when the query requires it (Step 3).
 //! Structural repetition (`(FWD/:meets/FWD)*` and friends) runs as an interval-aware
-//! transitive-closure fixpoint inside Step 1 ([`steps::closure`]).  Evaluation is
+//! transitive-closure fixpoint inside Step 1, and repetition of groups *mixing*
+//! structural and temporal navigation (`(FWD/NEXT)*` and friends) runs as a
+//! time-aware band fixpoint linking two segments ([`steps::closure`]).  Evaluation is
 //! data-parallel over chunks of the input relation.
 //!
 //! ```
@@ -40,10 +42,14 @@ pub mod relations;
 pub mod steps;
 
 pub use bindings::{Binding, BindingTable, TimeRef};
+pub use chain::TimeLag;
 pub use compiler::{compile, compile_with_strategy};
 pub use dataflow::JoinStrategy;
 pub use executor::{
     execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats,
 };
-pub use plan::{ClosureOp, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift};
+pub use plan::{
+    ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
+    TemporalLink,
+};
 pub use relations::{EdgeRow, GraphRelations, NodeRow, RelationStats};

@@ -77,7 +77,11 @@ impl ObjFilter {
                     hi = hi.min(k - 1);
                 }
                 CmpOp::Le => hi = hi.min(*k),
-                CmpOp::Gt => lo = lo.max(k + 1),
+                CmpOp::Gt => match k.checked_add(1) {
+                    // `time > Time::MAX` admits no time point at all.
+                    None => return None,
+                    Some(bound) => lo = lo.max(bound),
+                },
                 CmpOp::Ge => lo = lo.max(*k),
             }
         }
@@ -111,28 +115,79 @@ pub enum MicroOp {
     Filter(ObjFilter),
     /// Bind the object under the cursor to the variable slot.
     Bind(usize),
-    /// Repeat a structural sub-pipeline between `min` and `max` times — the engine's
-    /// interval-aware transitive closure (`(FWD/:meets/FWD)*` and friends).
+    /// Repeat a *purely structural* sub-pipeline between `min` and `max` times — the
+    /// engine's interval-aware transitive closure (`(FWD/:meets/FWD)*` and friends).
+    /// Time-crossing repetitions (any [`ClosureStep::Shift`] in the body) never appear
+    /// as a segment micro-op; they compile to a [`TemporalLink::Closure`] instead.
     Closure(ClosureOp),
 }
 
-/// The repetition of a purely structural sub-expression, evaluated as a semi-naive
-/// fixpoint: each iteration applies every alternative of the inner op pipeline to the
-/// newly discovered `(source, position, interval)` triples only, coalescing intervals
-/// between rounds, until no new coverage appears (or the `max` bound is reached).
+/// One step of a repeated sub-expression: either a structural micro-operation
+/// (evaluated within the current snapshot) or a temporal [`Shift`] advancing the
+/// cursor through the existence time of the object it sits on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClosureStep {
+    /// A structural micro-operation (hop, filter, or a nested closure).
+    Micro(MicroOp),
+    /// A temporal move on the current object between two structural steps.
+    Shift(Shift),
+}
+
+impl From<MicroOp> for ClosureStep {
+    fn from(op: MicroOp) -> Self {
+        ClosureStep::Micro(op)
+    }
+}
+
+/// The repetition of a sub-expression, evaluated as a semi-naive fixpoint: each
+/// iteration applies every alternative of the inner step pipeline to the newly
+/// discovered states only, coalescing intervals between rounds, until no new coverage
+/// appears (or the `max` bound is reached).
 ///
 /// The inner alternatives contain no [`MicroOp::Bind`] (the surface language cannot
-/// bind variables inside a repeated group) and no temporal navigation — repetition
-/// over `NEXT`/`PREV` compiles to a [`Shift`] instead.
+/// bind variables inside a repeated group).  When the body is purely structural the
+/// fixpoint runs per snapshot over `(source, position, interval)` triples; when it
+/// contains [`ClosureStep::Shift`]s (`(FWD/NEXT)*`-style mixed repetition) it runs
+/// time-aware, over `(source, position, departure-interval, arrival-interval, lag)`
+/// states (see [`crate::steps::closure`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClosureOp {
     /// The union alternatives of the repeated sub-expression; one iteration applies
     /// each alternative to the frontier and unions the results.
-    pub alternatives: Vec<Vec<MicroOp>>,
+    pub alternatives: Vec<Vec<ClosureStep>>,
     /// Minimum number of iterations.
     pub min: u32,
     /// Maximum number of iterations; `None` for open-ended repetitions such as `*`.
     pub max: Option<u32>,
+}
+
+impl ClosureOp {
+    /// Builds a closure over purely structural alternatives (no temporal steps).
+    pub fn structural(alternatives: Vec<Vec<MicroOp>>, min: u32, max: Option<u32>) -> Self {
+        ClosureOp {
+            alternatives: alternatives
+                .into_iter()
+                .map(|ops| ops.into_iter().map(ClosureStep::Micro).collect())
+                .collect(),
+            min,
+            max,
+        }
+    }
+
+    /// True if some alternative moves through time: it contains a shift, directly or
+    /// inside a nested closure.  Time-crossing closures relate different time points
+    /// of their start and end states and therefore execute as a
+    /// [`TemporalLink::Closure`] rather than inside a structural segment.
+    pub fn is_time_crossing(&self) -> bool {
+        fn step_crosses(step: &ClosureStep) -> bool {
+            match step {
+                ClosureStep::Shift(_) => true,
+                ClosureStep::Micro(MicroOp::Closure(inner)) => inner.is_time_crossing(),
+                ClosureStep::Micro(_) => false,
+            }
+        }
+        self.alternatives.iter().any(|alt| alt.iter().any(step_crosses))
+    }
 }
 
 /// A maximal run of structural operations evaluated at a single snapshot time.
@@ -184,8 +239,10 @@ impl Shift {
         }
         if self.forward {
             let lo = t.checked_add(self.min as u64)?;
+            // `t + m` can exceed `Time::MAX` for large times; the arrival window is
+            // clamped to `within` anyway, so saturating keeps the minimum exact.
             let hi = match self.max {
-                Some(m) => (t + m as u64).min(within.end()),
+                Some(m) => t.saturating_add(m as u64).min(within.end()),
                 None => within.end(),
             };
             if lo > hi || lo > within.end() {
@@ -264,21 +321,45 @@ impl Shift {
     }
 }
 
-/// A complete plan: segments joined by shifts.  `shifts.len()` is always
+/// The temporal connection between two consecutive segments of a plan: either a plain
+/// shift (`NEXT[n,m]` / `PREV[n,m]`) or a time-aware closure (repetition of a group
+/// mixing structural and temporal navigation, e.g. `(FWD/NEXT)*`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalLink {
+    /// A temporal move on the object the previous segment ended on.
+    Shift(Shift),
+    /// A time-crossing fixpoint: the repeated body moves both through the graph and
+    /// through time, so the link relates `(row, departure time)` to `(row', arrival
+    /// time)` states.  The admissible `(departure, arrival)` pairs are recorded per
+    /// output chain as a [`crate::chain::TimeLag`].
+    Closure(ClosureOp),
+}
+
+impl TemporalLink {
+    /// The shift, if the link is a plain temporal move.
+    pub fn as_shift(&self) -> Option<&Shift> {
+        match self {
+            TemporalLink::Shift(shift) => Some(shift),
+            TemporalLink::Closure(_) => None,
+        }
+    }
+}
+
+/// A complete plan: segments joined by temporal links.  `links.len()` is always
 /// `segments.len() - 1`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnginePlan {
     /// The structural segments.
     pub segments: Vec<Segment>,
-    /// The temporal moves between consecutive segments.
-    pub shifts: Vec<Shift>,
+    /// The temporal links between consecutive segments.
+    pub links: Vec<TemporalLink>,
 }
 
 impl EnginePlan {
     /// True if the plan has no temporal navigation (queries Q1–Q5 of the paper); its
     /// results stay temporally coalesced.
     pub fn is_purely_structural(&self) -> bool {
-        self.shifts.is_empty()
+        self.links.is_empty()
     }
 }
 
@@ -364,6 +445,67 @@ mod tests {
     }
 
     #[test]
+    fn shift_arithmetic_survives_time_max_adjacent_inputs() {
+        // Regression: `hi = t + m` used to overflow (panic in debug, wrap in release)
+        // for large departure times; the window is clamped to `within` regardless.
+        let within = Interval::of(Time::MAX - 10, Time::MAX);
+        let next = Shift { forward: true, min: 0, max: Some(12) };
+        assert_eq!(
+            next.arrival_from_point(Time::MAX - 5, within),
+            Some(Interval::of(Time::MAX - 5, Time::MAX))
+        );
+        assert_eq!(
+            next.arrival_from_point(Time::MAX, within),
+            Some(Interval::of(Time::MAX, Time::MAX))
+        );
+        // A minimum step count that cannot be taken from the end of time.
+        let must_move = Shift { forward: true, min: 1, max: Some(u32::MAX) };
+        assert_eq!(must_move.arrival_from_point(Time::MAX, within), None);
+        assert_eq!(
+            must_move.arrival_from_point(Time::MAX - 1, within),
+            Some(Interval::of(Time::MAX, Time::MAX))
+        );
+        // The interval form saturates the same way.
+        assert_eq!(
+            next.arrival_from_interval(Interval::of(Time::MAX - 2, Time::MAX), within),
+            Some(Interval::of(Time::MAX - 2, Time::MAX))
+        );
+        // A `time > Time::MAX` constraint admits nothing instead of overflowing.
+        let gt_max = ObjFilter { time: vec![(CmpOp::Gt, Time::MAX)], ..Default::default() };
+        assert_eq!(gt_max.clamp_interval(Interval::of(0, Time::MAX)), None);
+    }
+
+    #[test]
+    fn closure_time_crossing_classification() {
+        let hop = || ClosureStep::Micro(MicroOp::Hop(HopDirection::Forward));
+        let structural =
+            ClosureOp::structural(vec![vec![MicroOp::Hop(HopDirection::Forward)]], 0, None);
+        assert!(!structural.is_time_crossing());
+        let mixed = ClosureOp {
+            alternatives: vec![vec![
+                hop(),
+                ClosureStep::Shift(Shift { forward: true, min: 1, max: Some(1) }),
+            ]],
+            min: 0,
+            max: None,
+        };
+        assert!(mixed.is_time_crossing());
+        // Nesting a time-crossing closure makes the outer closure time-crossing too.
+        let nested = ClosureOp {
+            alternatives: vec![vec![hop(), ClosureStep::Micro(MicroOp::Closure(mixed))]],
+            min: 1,
+            max: Some(2),
+        };
+        assert!(nested.is_time_crossing());
+        let nested_structural = ClosureOp {
+            alternatives: vec![vec![ClosureStep::Micro(MicroOp::Closure(structural))]],
+            min: 0,
+            max: None,
+        };
+        assert!(!nested_structural.is_time_crossing());
+    }
+
+    #[test]
     fn shift_arrival_from_interval_covers_all_departures() {
         let within = Interval::of(0, 48);
         let next = Shift { forward: true, min: 2, max: Some(4) };
@@ -398,11 +540,11 @@ mod tests {
 
     #[test]
     fn plan_structural_classification() {
-        let plain = EnginePlan { segments: vec![Segment::default()], shifts: vec![] };
+        let plain = EnginePlan { segments: vec![Segment::default()], links: vec![] };
         assert!(plain.is_purely_structural());
         let shifted = EnginePlan {
             segments: vec![Segment::default(), Segment::default()],
-            shifts: vec![Shift { forward: true, min: 0, max: None }],
+            links: vec![TemporalLink::Shift(Shift { forward: true, min: 0, max: None })],
         };
         assert!(!shifted.is_purely_structural());
         let set = PlanSet {

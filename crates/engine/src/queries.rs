@@ -86,7 +86,7 @@ mod tests {
     fn temporal_bound_substitution_changes_the_shift() {
         let base = plan_for(QueryId::Q10);
         let widened = plan_with_temporal_bound(QueryId::Q10, 48);
-        assert_eq!(base.plans[0].shifts[0].max, Some(12));
-        assert_eq!(widened.plans[0].shifts[0].max, Some(48));
+        assert_eq!(base.plans[0].links[0].as_shift().unwrap().max, Some(12));
+        assert_eq!(widened.plans[0].links[0].as_shift().unwrap().max, Some(48));
     }
 }

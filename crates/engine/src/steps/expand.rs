@@ -3,16 +3,18 @@
 //!
 //! Queries without temporal navigation keep their (coalesced) interval bindings.  For
 //! queries with temporal navigation, the time points of the different segments are
-//! correlated through the shifts, so the final binding table must be point-based: each
-//! chain is expanded by enumerating, segment by segment, the time points that satisfy
-//! the shift constraints.  Segments that bind no output variable and are not needed to
+//! correlated through the temporal links, so the final binding table must be
+//! point-based: each chain is expanded by enumerating, segment by segment, the time
+//! points that satisfy the link constraints — a [`crate::plan::Shift`]'s step bounds
+//! for plain temporal moves, or the chain's recorded [`crate::chain::TimeLag`] for
+//! time-aware closure boundaries.  Segments that bind no output variable and are not needed to
 //! constrain a later bound segment are only checked for feasibility, never enumerated.
 
 use tgraph::Time;
 
 use crate::bindings::{Binding, BindingTable};
 use crate::chain::Chain;
-use crate::plan::{EnginePlan, Shift};
+use crate::plan::{EnginePlan, TemporalLink};
 
 /// Expands the chains produced by a plan into binding rows and appends them to the
 /// table.
@@ -63,79 +65,91 @@ fn expand_chain(plan: &EnginePlan, num_slots: usize, chain: &Chain, table: &mut 
     // The last segment that actually binds an output variable; later segments only
     // need a feasibility check.
     let last_bound_segment = chain.bound.iter().map(|b| b.segment as usize).max().unwrap_or(0);
+    // Per link, the index into the chain's recorded lags (closure links only),
+    // precomputed once so the per-point admissibility checks below stay O(1).
+    let lag_indices: Vec<Option<usize>> = plan
+        .links
+        .iter()
+        .scan(0usize, |next, link| match link {
+            TemporalLink::Shift(_) => Some(None),
+            TemporalLink::Closure(_) => {
+                let index = *next;
+                *next += 1;
+                Some(Some(index))
+            }
+        })
+        .collect();
+    let ctx = Expansion { plan, chain, intervals: &intervals, lag_indices, last_bound_segment };
     let mut times: Vec<Time> = Vec::with_capacity(intervals.len());
-    enumerate(plan, chain, &intervals, last_bound_segment, num_slots, 0, &mut times, table);
+    enumerate(&ctx, num_slots, 0, &mut times, table);
+}
+
+/// The per-chain context of one point expansion.
+struct Expansion<'a> {
+    plan: &'a EnginePlan,
+    chain: &'a Chain,
+    intervals: &'a [tgraph::Interval],
+    lag_indices: Vec<Option<usize>>,
+    last_bound_segment: usize,
+}
+
+impl Expansion<'_> {
+    /// True if the temporal link entering `segment` admits moving from time `from` to
+    /// time `to` for this chain: a plain shift checks its step bounds, a time-aware
+    /// closure checks the time skew the chain recorded while crossing it.
+    fn link_admits(&self, segment: usize, from: Time, to: Time) -> bool {
+        match &self.plan.links[segment - 1] {
+            TemporalLink::Shift(shift) => shift.admits(from, to),
+            TemporalLink::Closure(_) => {
+                let index = self.lag_indices[segment - 1].expect("closure links carry a lag index");
+                self.chain.lags[index].admits(from, to)
+            }
+        }
+    }
 }
 
 /// Recursively enumerates the time point of segment `segment`, given the time points
 /// chosen for the previous segments, and emits a binding row once every bound segment
 /// has a time.
-#[allow(clippy::too_many_arguments)]
 fn enumerate(
-    plan: &EnginePlan,
-    chain: &Chain,
-    intervals: &[tgraph::Interval],
-    last_bound_segment: usize,
+    ctx: &Expansion<'_>,
     num_slots: usize,
     segment: usize,
     times: &mut Vec<Time>,
     table: &mut BindingTable,
 ) {
-    if segment > last_bound_segment {
+    if segment > ctx.last_bound_segment {
         // All remaining segments are unbound: check that a consistent completion
         // exists, then emit the row.
-        if feasible(
-            plan,
-            intervals,
-            segment,
-            *times.last().expect("at least one segment enumerated"),
-        ) {
-            emit_row(chain, num_slots, times, table);
+        if feasible(ctx, segment, *times.last().expect("at least one segment enumerated")) {
+            emit_row(ctx.chain, num_slots, times, table);
         }
         return;
     }
-    let window = intervals[segment];
+    let window = ctx.intervals[segment];
     for t in window.points() {
-        if segment > 0 {
-            let shift = &plan.shifts[segment - 1];
-            if !shift.admits(times[segment - 1], t) {
-                continue;
-            }
+        if segment > 0 && !ctx.link_admits(segment, times[segment - 1], t) {
+            continue;
         }
         times.push(t);
-        if segment == last_bound_segment && segment + 1 >= intervals.len() {
-            emit_row(chain, num_slots, times, table);
+        if segment == ctx.last_bound_segment && segment + 1 >= ctx.intervals.len() {
+            emit_row(ctx.chain, num_slots, times, table);
         } else {
-            enumerate(
-                plan,
-                chain,
-                intervals,
-                last_bound_segment,
-                num_slots,
-                segment + 1,
-                times,
-                table,
-            );
+            enumerate(ctx, num_slots, segment + 1, times, table);
         }
         times.pop();
     }
 }
 
-/// True if segments `segment..` can be assigned time points consistent with the shift
+/// True if segments `segment..` can be assigned time points consistent with the link
 /// constraints, given that segment `segment - 1` was assigned `previous`.
-fn feasible(
-    plan: &EnginePlan,
-    intervals: &[tgraph::Interval],
-    segment: usize,
-    previous: Time,
-) -> bool {
-    if segment >= intervals.len() {
+fn feasible(ctx: &Expansion<'_>, segment: usize, previous: Time) -> bool {
+    if segment >= ctx.intervals.len() {
         return true;
     }
-    let shift: &Shift = &plan.shifts[segment - 1];
-    intervals[segment]
+    ctx.intervals[segment]
         .points()
-        .any(|t| shift.admits(previous, t) && feasible(plan, intervals, segment + 1, t))
+        .any(|t| ctx.link_admits(segment, previous, t) && feasible(ctx, segment + 1, t))
 }
 
 fn emit_row(chain: &Chain, num_slots: usize, times: &[Time], table: &mut BindingTable) {
@@ -154,8 +168,8 @@ fn emit_row(chain: &Chain, num_slots: usize, times: &[Time], table: &mut Binding
 mod tests {
     use super::*;
     use crate::bindings::TimeRef;
-    use crate::chain::{BoundVar, Position};
-    use crate::plan::Segment;
+    use crate::chain::{BoundVar, Position, TimeLag};
+    use crate::plan::{ClosureOp, Segment, Shift};
     use tgraph::{Interval, NodeId, Object};
 
     fn iv(a: u64, b: u64) -> Interval {
@@ -163,11 +177,21 @@ mod tests {
     }
 
     fn structural_plan() -> EnginePlan {
-        EnginePlan { segments: vec![Segment::default()], shifts: vec![] }
+        EnginePlan { segments: vec![Segment::default()], links: vec![] }
     }
 
     fn shifted_plan(shift: Shift) -> EnginePlan {
-        EnginePlan { segments: vec![Segment::default(), Segment::default()], shifts: vec![shift] }
+        EnginePlan {
+            segments: vec![Segment::default(), Segment::default()],
+            links: vec![TemporalLink::Shift(shift)],
+        }
+    }
+
+    fn closure_plan() -> EnginePlan {
+        EnginePlan {
+            segments: vec![Segment::default(), Segment::default()],
+            links: vec![TemporalLink::Closure(ClosureOp::structural(vec![vec![]], 0, None))],
+        }
     }
 
     fn obj() -> Object {
@@ -178,6 +202,7 @@ mod tests {
     fn structural_chains_keep_interval_bindings() {
         let chain = Chain {
             seg_intervals: vec![],
+            lags: vec![],
             bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
             position: Position::NodeRow(0),
             interval: iv(2, 5),
@@ -195,6 +220,7 @@ mod tests {
         // NEXT[2,4]; both segments bind a variable.
         let chain = Chain {
             seg_intervals: vec![iv(3, 4)],
+            lags: vec![],
             bound: vec![
                 BoundVar { slot: 0, segment: 0, object: obj() },
                 BoundVar { slot: 1, segment: 1, object: obj() },
@@ -227,6 +253,7 @@ mod tests {
         // Only segment 0 binds a variable; segment 1 must merely be reachable.
         let chain = Chain {
             seg_intervals: vec![iv(0, 6)],
+            lags: vec![],
             bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
             position: Position::NodeRow(0),
             interval: iv(8, 9),
@@ -245,6 +272,7 @@ mod tests {
     fn backward_shifts_expand_correctly() {
         let chain = Chain {
             seg_intervals: vec![iv(7, 8)],
+            lags: vec![],
             bound: vec![
                 BoundVar { slot: 0, segment: 0, object: obj() },
                 BoundVar { slot: 1, segment: 1, object: obj() },
@@ -262,5 +290,52 @@ mod tests {
             .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
             .collect();
         assert_eq!(pairs, vec![(7, 6)]);
+    }
+
+    #[test]
+    fn closure_links_expand_through_the_recorded_lag() {
+        // A time-aware closure boundary: the chain carries the admissible skew
+        // itself instead of reading it off the plan.
+        let chain = Chain {
+            seg_intervals: vec![iv(3, 5)],
+            lags: vec![TimeLag { lo: 2, hi: 3 }],
+            bound: vec![
+                BoundVar { slot: 0, segment: 0, object: obj() },
+                BoundVar { slot: 1, segment: 1, object: obj() },
+            ],
+            position: Position::NodeRow(0),
+            interval: iv(6, 7),
+        };
+        let mut table = BindingTable::new(vec!["x".into(), "y".into()]);
+        expand_chains(&closure_plan(), 2, &[chain], &mut table);
+        table.sort_dedup();
+        let pairs: Vec<(Time, Time)> = table
+            .rows
+            .iter()
+            .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
+            .collect();
+        // t0 in [3,5], t1 in [6,7], t1 − t0 in [2,3].
+        assert_eq!(pairs, vec![(3, 6), (4, 6), (4, 7), (5, 7)]);
+
+        // A negative lag (backward navigation inside the closure).
+        let backward = Chain {
+            seg_intervals: vec![iv(6, 7)],
+            lags: vec![TimeLag { lo: -2, hi: -2 }],
+            bound: vec![
+                BoundVar { slot: 0, segment: 0, object: obj() },
+                BoundVar { slot: 1, segment: 1, object: obj() },
+            ],
+            position: Position::NodeRow(0),
+            interval: iv(3, 5),
+        };
+        let mut table = BindingTable::new(vec!["x".into(), "y".into()]);
+        expand_chains(&closure_plan(), 2, &[backward], &mut table);
+        table.sort_dedup();
+        let pairs: Vec<(Time, Time)> = table
+            .rows
+            .iter()
+            .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(6, 4), (7, 5)]);
     }
 }

@@ -15,4 +15,8 @@ pub struct StepStats {
     /// [`crate::plan::ClosureOp`]'s inner pipeline to a frontier.  Zero for plans
     /// without structural repetition.
     pub closure_rounds: AtomicUsize,
+    /// Number of *time-crossing* closure rounds executed: applications of a repeated
+    /// group mixing structural and temporal navigation (`(FWD/NEXT)*` and friends) to
+    /// a band frontier.  Zero for plans without mixed repetition.
+    pub time_closure_rounds: AtomicUsize,
 }

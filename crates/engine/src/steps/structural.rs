@@ -113,7 +113,9 @@ pub(crate) fn apply_ops<C: StructuralCursor>(
     current
 }
 
-fn apply_op<C: StructuralCursor>(
+/// Applies one micro-operation to a batch of cursors.  Also driven directly by the
+/// closure fixpoints, which interleave micro-operations with temporal steps.
+pub(crate) fn apply_op<C: StructuralCursor>(
     graph: &GraphRelations,
     cursors: Vec<C>,
     op: &MicroOp,

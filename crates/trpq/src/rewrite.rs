@@ -13,7 +13,12 @@
 //!   `(p ↦ v ∧ ∃)`; an axis with a repetition, e.g. `NEXT[0,12]` or `PREV*`, becomes
 //!   `(N/∃)[0,12]` or `(P/∃)[0,_]` — repetition in the practical language walks only
 //!   through existing temporal objects, exactly as in the translation of Q8 and Q12
-//!   given in the paper;
+//!   given in the paper.  The same convention applies *inside a repeated group*:
+//!   every axis within, e.g., `(FWD/:meets/FWD/NEXT)*` is followed by `∃`, because a
+//!   repetition traverses unboundedly many intermediate temporal objects and the
+//!   practical language requires all of them to exist (this is also what makes mixed
+//!   structural/temporal repetition executable by the interval engine's time-aware
+//!   closure);
 //! * the reserved word `time` becomes the `< k` test and its Boolean combinations.
 
 use serde::{Deserialize, Serialize};
@@ -105,29 +110,39 @@ pub fn rewrite_edge_pattern(edge: &EdgePattern) -> Path {
 
 /// Rewrites a temporal regular expression from the `-/…/-` surface syntax.
 pub fn rewrite_regex(regex: &Regex) -> Path {
+    rewrite_regex_mode(regex, false)
+}
+
+/// Rewrites a regex; with `repeated` set, the expression sits (syntactically) under a
+/// repetition, so every axis walks only through existing temporal objects.
+fn rewrite_regex_mode(regex: &Regex, repeated: bool) -> Path {
     Path::alt_all(
         regex
             .alternatives
             .iter()
-            .map(|seq| Path::seq_all(seq.items.iter().map(rewrite_regex_item))),
+            .map(|seq| Path::seq_all(seq.items.iter().map(|i| rewrite_regex_item(i, repeated)))),
     )
 }
 
-fn rewrite_regex_item(item: &RegexItem) -> Path {
+fn rewrite_regex_item(item: &RegexItem, repeated: bool) -> Path {
     let base = match &item.atom {
-        RegexAtom::Axis(axis) => match item.repeat {
-            // A repeated axis walks only through existing temporal objects:
-            // NEXT[n,m] ⇒ (N/∃)[n,m].
-            Some(_) => Path::axis(*axis).then(Path::Test(TestExpr::Exists)),
-            None => Path::axis(*axis),
-        },
+        RegexAtom::Axis(axis) => {
+            // A repeated axis — or any axis inside a repeated group — walks only
+            // through existing temporal objects: NEXT[n,m] ⇒ (N/∃)[n,m] and
+            // (FWD/NEXT)* ⇒ ((F/∃)/(N/∃))[0,_].
+            if repeated || item.repeat.is_some() {
+                Path::axis(*axis).then(Path::Test(TestExpr::Exists))
+            } else {
+                Path::axis(*axis)
+            }
+        }
         RegexAtom::Label(label) => Path::Test(TestExpr::label(label.clone()).and(TestExpr::Exists)),
         RegexAtom::Props(constraints) => {
             let mut tests = vec![TestExpr::Exists];
             tests.extend(constraints.iter().map(rewrite_constraint));
             Path::Test(TestExpr::all(tests))
         }
-        RegexAtom::Group(inner) => rewrite_regex(inner),
+        RegexAtom::Group(inner) => rewrite_regex_mode(inner, repeated || item.repeat.is_some()),
     };
     match item.repeat {
         None => base,
@@ -210,6 +225,27 @@ mod tests {
         let shown6 = q6.path.to_string();
         assert!(shown6.contains(" / P)"), "got {shown6}");
         assert!(!shown6.contains("(P / exists)"), "got {shown6}");
+    }
+
+    #[test]
+    fn axes_inside_repeated_groups_require_existence() {
+        // The repetition convention reaches inside repeated groups: every axis of a
+        // repeated body walks only through existing temporal objects.
+        let q = rewrite("MATCH (x:Person)-/(FWD/:meets/FWD/NEXT)*/-(y:Person) ON g");
+        let shown = q.path.to_string();
+        assert!(shown.contains("(F / exists)"), "got {shown}");
+        assert!(shown.contains("(N / exists)"), "got {shown}");
+        // Also through nested (unrepeated) groups under a repetition.
+        let nested = rewrite("MATCH (x)-/((FWD/NEXT)/BWD)[1,3]/-(y) ON g");
+        let shown = nested.path.to_string();
+        assert!(shown.contains("(B / exists)"), "got {shown}");
+        assert!(!shown.contains("/ B)[") || shown.contains("(B / exists)"), "got {shown}");
+        // Outside any repetition, group axes stay bare (the `exists` below comes from
+        // the node patterns, not the axes).
+        let plain = rewrite("MATCH (x)-/(FWD/NEXT)/-(y) ON g");
+        let shown = plain.path.to_string();
+        assert!(shown.contains("(F / N)"), "got {shown}");
+        assert!(!shown.contains("(F / exists)"), "got {shown}");
     }
 
     #[test]

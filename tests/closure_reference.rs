@@ -99,7 +99,36 @@ fn closure_query_strategy() -> impl Strategy<Value = String> {
         .prop_map(|(body, rep)| format!("MATCH (x:Person)-/({body}){rep}/-(y:Person) ON g"))
 }
 
-/// The engine's binding table expanded to `(x, t) → (y, t)` temporal-object pairs.
+/// Random *mixed* structural/temporal repetition queries, `(FWD/NEXT)*`-style: each
+/// body interleaves contact hops with temporal steps (possibly carrying their own
+/// indicators, unions, or purely temporal alternatives), and the whole group is
+/// repeated — the engine's time-aware closure.
+fn mixed_query_strategy() -> impl Strategy<Value = String> {
+    let body = prop_oneof![
+        Just("FWD/:meets/FWD/NEXT"),
+        Just("FWD/:meets/FWD/PREV"),
+        Just("BWD/:meets/BWD/PREV"),
+        Just("NEXT/FWD/:meets/FWD"),
+        Just("FWD/:meets/FWD/NEXT[0,2]"),
+        Just("FWD/:meets/FWD/NEXT*"),
+        Just("FWD/:meets/FWD/NEXT + BWD/:meets/BWD/PREV"),
+        Just("FWD/:meets/FWD/NEXT + PREV"),
+    ];
+    let repetition = prop_oneof![
+        Just("*".to_owned()),
+        Just("[1,_]".to_owned()),
+        Just("[1,1]".to_owned()),
+        Just("[0,0]".to_owned()),
+        Just("[2,1]".to_owned()),
+        (0..3u32, 0..3u32).prop_map(|(n, d)| format!("[{n},{}]", n + d)),
+    ];
+    (body, repetition)
+        .prop_map(|(body, rep)| format!("MATCH (x:Person)-/({body}){rep}/-(y:Person) ON g"))
+}
+
+/// The engine's binding table expanded to `(x, t) → (y, t′)` temporal-object pairs.
+/// Purely structural results bind snapshot intervals (`t = t′`); time-crossing
+/// results (mixed repetition) bind points on both sides.
 fn engine_pairs(
     graph: &GraphRelations,
     query: &str,
@@ -121,7 +150,11 @@ fn engine_pairs(
                     ));
                 }
             }
-            other => panic!("purely structural queries bind intervals, got {other:?}"),
+            (TimeRef::Point(tx), TimeRef::Point(ty)) => {
+                pairs
+                    .insert((TemporalObject::new(x.object, tx), TemporalObject::new(y.object, ty)));
+            }
+            other => panic!("unexpected mixed binding kinds {other:?}"),
         }
     }
     pairs
@@ -187,6 +220,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mixed_closure_engine_agrees_with_the_reference_evaluators(
+        spec in graph_spec_strategy(),
+        query in mixed_query_strategy(),
+    ) {
+        let itpg = build_graph(&spec);
+        let relations = GraphRelations::from_itpg(&itpg);
+
+        // Reference: the full relation over the expanded point-based graph, under
+        // the practical-language convention that repetition (including everything
+        // inside a repeated group) walks only through existing temporal objects.
+        let clause = parse_match(&query).unwrap();
+        let rewritten = rewrite_match(&clause).unwrap();
+        let reference: BTreeSet<(TemporalObject, TemporalObject)> =
+            eval_path(&rewritten.path, &itpg.to_tpg())
+                .iter()
+                .map(|q| (q.src, q.dst))
+                .collect();
+
+        // Engine under the hash strategy must equal the reference…
+        let hash = engine_pairs(&relations, &query, JoinStrategy::Hash);
+        prop_assert_eq!(&hash, &reference, "engine (hash) vs TPG reference on {}", query);
+
+        // …and the merge / auto strategies must equal it too.
+        for strategy in [JoinStrategy::Merge, JoinStrategy::Auto] {
+            let alt = engine_pairs(&relations, &query, strategy);
+            prop_assert_eq!(&alt, &reference, "engine ({:?}) disagrees on {}", strategy, query);
+        }
+
+        // Membership spot-checks against the ITPG ground-truth dispatcher.
+        for &(src, dst) in reference.iter().take(2) {
+            prop_assert!(
+                eval_contains_itpg(&rewritten.path, &itpg, src, dst).unwrap(),
+                "eval_contains_itpg misses ({:?}, {:?}) for {}", src, dst, query
+            );
+        }
+    }
+}
+
 /// A deterministic end-to-end case: the iconic multi-hop contact chain
 /// `(FWD/:meets/FWD)*` on a 4-person chain with staggered meeting windows.
 #[test]
@@ -218,5 +293,43 @@ fn contact_chain_example_matches_reference() {
     let p0 = TemporalObject::new(tgraph::Object::Node(ids[0]), 5);
     let p3 = TemporalObject::new(tgraph::Object::Node(ids[3]), 5);
     assert!(reference.contains(&(p0, p3)));
+    assert!(eval_contains_itpg(&rewritten.path, &itpg, p0, p3).unwrap());
+}
+
+/// A deterministic time-crossing case: the recurring-contact chain
+/// `(FWD/:meets/FWD/NEXT)*` — each meeting is followed by exactly one step forward in
+/// time — on the same 4-person graph.
+#[test]
+fn recurring_contact_chain_matches_reference() {
+    let mut b = ItpgBuilder::new().domain(Interval::of(0, 9));
+    let ids: Vec<_> = (0..4).map(|i| b.add_node(&format!("p{i}"), "Person").unwrap()).collect();
+    for &id in &ids {
+        b.add_existence(id, Interval::of(0, 9)).unwrap();
+    }
+    for (i, window) in
+        [(0usize, Interval::of(1, 6)), (1, Interval::of(4, 8)), (2, Interval::of(5, 5))]
+    {
+        let e = b.add_edge(&format!("m{i}"), "meets", ids[i], ids[i + 1]).unwrap();
+        b.add_existence(e, window).unwrap();
+    }
+    let itpg = b.build().unwrap();
+    let relations = GraphRelations::from_itpg(&itpg);
+    let query = "MATCH (x)-/(FWD/:meets/FWD/NEXT)*/-(y) ON g";
+
+    let clause = parse_match(query).unwrap();
+    let rewritten = rewrite_match(&clause).unwrap();
+    let reference: BTreeSet<(TemporalObject, TemporalObject)> =
+        eval_path(&rewritten.path, &itpg.to_tpg()).iter().map(|q| (q.src, q.dst)).collect();
+    for strategy in [JoinStrategy::Hash, JoinStrategy::Merge, JoinStrategy::Auto] {
+        assert_eq!(engine_pairs(&relations, query, strategy), reference, "{strategy}");
+    }
+    // The full three-meeting recurrence threads p0@3 → p1@4 → p2@5 → p3@6: the last
+    // meeting only happens at 5, forcing the whole schedule.
+    let p0 = TemporalObject::new(tgraph::Object::Node(ids[0]), 3);
+    let p3 = TemporalObject::new(tgraph::Object::Node(ids[3]), 6);
+    assert!(reference.contains(&(p0, p3)));
+    // One step later at the start and the schedule no longer fits.
+    let late = TemporalObject::new(tgraph::Object::Node(ids[0]), 4);
+    assert!(!reference.contains(&(late, p3)));
     assert!(eval_contains_itpg(&rewritten.path, &itpg, p0, p3).unwrap());
 }
