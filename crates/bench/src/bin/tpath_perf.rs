@@ -25,8 +25,12 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use std::time::Instant;
+
 use bench::json::Json;
-use engine::{ExecutionOptions, JoinStrategy};
+use engine::{ExecutionOptions, GraphRelations, JoinStrategy, PlanSet};
+use live::LiveGraph;
+use tgraph::{Interval, Itpg};
 use trpq::parser::MatchClause;
 use trpq::queries::QueryId;
 use workload::{ContactTracingConfig, ScaleFactor};
@@ -135,6 +139,95 @@ fn matrix_queries(smoke: bool) -> Vec<(&'static str, MatchClause)> {
     queries
 }
 
+/// The maintained queries of the LIVE matrix: a purely structural query, a
+/// structural join, a temporal query, and the REACH closure (which exercises the
+/// conservative full-recompute fallback).
+fn live_queries() -> Vec<(&'static str, PlanSet)> {
+    let mut queries: Vec<(&'static str, PlanSet)> = [QueryId::Q1, QueryId::Q5, QueryId::Q9]
+        .into_iter()
+        .map(|id| (id.name(), engine::queries::plan_for(id)))
+        .collect();
+    let reach = trpq::parser::parse_match(bench::REACH_QUERY_TEXT).expect("the REACH query parses");
+    queries.push((
+        bench::REACH_QUERY_NAME,
+        engine::compile(&reach).expect("the REACH query compiles"),
+    ));
+    queries
+}
+
+/// Accumulated measurements of one maintained query over a whole batch stream.
+struct LiveCell {
+    query: &'static str,
+    refresh_seconds: f64,
+    full_seconds: f64,
+    refreshes: usize,
+    fallback_refreshes: usize,
+    final_rows: usize,
+    agree: bool,
+}
+
+/// Streams one scale's workload into a `LiveGraph` and measures, per batch,
+/// the incremental refresh of every maintained query against the from-scratch
+/// counterfactual (relation rebuild + execute, per query — a non-live system
+/// serving one query pays the rebuild for it).  Returns `(ingest seconds,
+/// shared rebuild seconds, batches, mutations, per-query cells)`; the rebuild
+/// total is reported separately so the speedups are reproducible from the
+/// report.
+fn run_live_matrix(config: &ContactTracingConfig) -> (f64, f64, usize, usize, Vec<LiveCell>) {
+    let batches = workload::stream_contact_batches(config);
+    let mutations = workload::mutation_count(&batches);
+    let options = ExecutionOptions::with_threads(1);
+    let mut graph = LiveGraph::with_options(Itpg::empty(Interval::of(0, 1)), options);
+    let queries = live_queries();
+    let handles: Vec<_> = queries.iter().map(|(_, plan)| graph.register(plan.clone())).collect();
+    let mut cells: Vec<LiveCell> = queries
+        .iter()
+        .map(|(name, _)| LiveCell {
+            query: name,
+            refresh_seconds: 0.0,
+            full_seconds: 0.0,
+            refreshes: 0,
+            fallback_refreshes: 0,
+            final_rows: 0,
+            agree: true,
+        })
+        .collect();
+    let mut ingest_seconds = 0.0f64;
+    let mut rebuild_seconds_total = 0.0f64;
+    for batch in &batches {
+        let start = Instant::now();
+        graph.apply(batch).expect("streamed batches are valid against their prefix");
+        ingest_seconds += start.elapsed().as_secs_f64();
+        for (cell, handle) in cells.iter_mut().zip(&handles) {
+            let start = Instant::now();
+            let stats = graph.refresh(*handle);
+            cell.refresh_seconds += start.elapsed().as_secs_f64();
+            cell.refreshes += 1;
+            if stats.fallback_full {
+                cell.fallback_refreshes += 1;
+            }
+        }
+        // The from-scratch counterfactual a non-live system would pay per batch:
+        // rebuild the relations and execute the query on them.
+        let start = Instant::now();
+        let scratch = GraphRelations::from_itpg(graph.itpg());
+        let rebuild_seconds = start.elapsed().as_secs_f64();
+        rebuild_seconds_total += rebuild_seconds;
+        for ((cell, handle), (_, plan_set)) in cells.iter_mut().zip(&handles).zip(&queries) {
+            let start = Instant::now();
+            let expected = engine::execute(plan_set, &scratch, &options);
+            cell.full_seconds += rebuild_seconds + start.elapsed().as_secs_f64();
+            if graph.table(*handle) != &expected.table {
+                cell.agree = false;
+            }
+        }
+    }
+    for (cell, handle) in cells.iter_mut().zip(&handles) {
+        cell.final_rows = graph.table(*handle).len();
+    }
+    (ingest_seconds, rebuild_seconds_total, batches.len(), mutations, cells)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -206,6 +299,56 @@ fn main() -> ExitCode {
         }
     }
 
+    // The LIVE matrix: stream every scale batch by batch, maintain a query set,
+    // and compare incremental refresh latency against full recompute per batch.
+    let mut live_entries: Vec<Json> = Vec::new();
+    let mut live_disagreements = 0usize;
+    for (scale_name, config) in &scales {
+        let (ingest_seconds, rebuild_seconds, batches, mutations, cells) = run_live_matrix(config);
+        println!(
+            "# LIVE {scale_name}: {batches} batches, {mutations} mutations, \
+             ingest {ingest_seconds:.4}s ({:.0} mutations/s)",
+            mutations as f64 / ingest_seconds.max(f64::EPSILON)
+        );
+        for cell in cells {
+            println!(
+                "LIVE {scale_name} {} auto: refresh {:.4}s vs full {:.4}s ({:.1}x), \
+                 {} rows, {}/{} fallback refreshes, agree={}",
+                cell.query,
+                cell.refresh_seconds,
+                cell.full_seconds,
+                cell.full_seconds / cell.refresh_seconds.max(f64::EPSILON),
+                cell.final_rows,
+                cell.fallback_refreshes,
+                cell.refreshes,
+                cell.agree
+            );
+            if !cell.agree {
+                eprintln!(
+                    "tpath-perf: LIVE {scale_name}/{}: maintained answer diverged from \
+                     the from-scratch execution",
+                    cell.query
+                );
+                live_disagreements += 1;
+            }
+            live_entries.push(Json::obj([
+                ("scale", Json::str(scale_name.clone())),
+                ("query", Json::str(cell.query)),
+                ("strategy", Json::str("auto")),
+                ("batches", Json::UInt(batches as u64)),
+                ("mutations", Json::UInt(mutations as u64)),
+                ("refreshes", Json::UInt(cell.refreshes as u64)),
+                ("fallback_refreshes", Json::UInt(cell.fallback_refreshes as u64)),
+                ("ingest_seconds", Json::Float(ingest_seconds)),
+                ("rebuild_seconds", Json::Float(rebuild_seconds)),
+                ("refresh_seconds", Json::Float(cell.refresh_seconds)),
+                ("full_seconds", Json::Float(cell.full_seconds)),
+                ("final_rows", Json::UInt(cell.final_rows as u64)),
+                ("agree", Json::Bool(cell.agree)),
+            ]));
+        }
+    }
+
     let mut disagreements = 0usize;
     for ((scale, query, threads), counts) in &row_counts {
         let reference = counts[0].1;
@@ -226,7 +369,7 @@ fn main() -> ExitCode {
         .map(|d| Json::UInt(d.as_secs()))
         .unwrap_or(Json::Null);
     let report = Json::obj([
-        ("schema_version", Json::UInt(1)),
+        ("schema_version", Json::UInt(2)),
         ("label", Json::str(args.label.clone())),
         ("created_unix", created_unix),
         ("smoke", Json::Bool(args.smoke)),
@@ -245,8 +388,10 @@ fn main() -> ExitCode {
             )]),
         ),
         ("strategies_agree", Json::Bool(disagreements == 0)),
+        ("live_agrees", Json::Bool(live_disagreements == 0)),
         ("peak_rss_bytes", bench::peak_rss_bytes().map(Json::UInt).unwrap_or(Json::Null)),
         ("workloads", Json::Arr(workloads)),
+        ("live", Json::Arr(live_entries)),
     ]);
 
     let path = format!("{}/BENCH_{}.json", args.out_dir.trim_end_matches('/'), args.label);
@@ -258,6 +403,10 @@ fn main() -> ExitCode {
 
     if disagreements > 0 {
         eprintln!("tpath-perf: FAILED — {disagreements} strategy disagreement(s)");
+        return ExitCode::FAILURE;
+    }
+    if live_disagreements > 0 {
+        eprintln!("tpath-perf: FAILED — {live_disagreements} incremental-vs-full disagreement(s)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

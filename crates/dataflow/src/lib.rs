@@ -19,8 +19,8 @@ pub mod sorted;
 pub mod strategy;
 
 pub use operators::{
-    coalesce, hash_join, interval_hash_join, interval_merge_join, is_key_sorted, merge_join,
-    point_count,
+    coalesce, hash_join, interval_hash_join, interval_merge_join, interval_merge_join_gallop,
+    is_key_sorted, merge_join, merge_join_gallop, point_count,
 };
 pub use parallel::{par_chunk_flat_map, par_filter, par_flat_map, par_map, Parallelism};
 pub use relation::Relation;

@@ -86,6 +86,113 @@ where
         .collect()
 }
 
+/// Plain equi merge join with *galloping* group seeks: identical output to
+/// [`merge_join`], but on a key mismatch the lagging side jumps to the next
+/// candidate group with an exponential probe followed by a binary search instead
+/// of advancing one row at a time.
+///
+/// A join that matches only a few key groups of a long key-sorted permutation
+/// therefore costs `O(matches + Σ log(jump distance))` rather than
+/// `O(|permutation|)` — the merge-path counterpart of probing a hash index,
+/// while still streaming both inputs in order.
+pub fn merge_join_gallop<'a, L, R, K, FL, FR>(
+    left: &'a [L],
+    right: &'a [R],
+    left_key: FL,
+    right_key: FR,
+) -> Vec<(&'a L, &'a R)>
+where
+    K: Ord,
+    FL: Fn(&L) -> K,
+    FR: Fn(&R) -> K,
+{
+    debug_assert!(is_key_sorted(left, &left_key), "merge_join_gallop: left input not key-sorted");
+    debug_assert!(
+        is_key_sorted(right, &right_key),
+        "merge_join_gallop: right input not key-sorted"
+    );
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        let lk = left_key(&left[i]);
+        let rk = right_key(&right[j]);
+        if lk < rk {
+            i = gallop_to(left, i, &left_key, &rk);
+        } else if lk > rk {
+            j = gallop_to(right, j, &right_key, &lk);
+        } else {
+            let i_end = group_end(left, i, &left_key);
+            let j_end = group_end(right, j, &right_key);
+            for l in &left[i..i_end] {
+                for r in &right[j..j_end] {
+                    out.push((l, r));
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// Temporally-aligned merge join with galloping group seeks: identical output to
+/// [`interval_merge_join`], with the seek behaviour of [`merge_join_gallop`].
+/// This is what the engine's merge strategy runs against the key-sorted row
+/// permutations, so very selective hops stop paying for the whole permutation.
+pub fn interval_merge_join_gallop<'a, L, R, K, FL, FR, IL, IR>(
+    left: &'a [L],
+    right: &'a [R],
+    left_key: FL,
+    right_key: FR,
+    left_interval: IL,
+    right_interval: IR,
+) -> Vec<(&'a L, &'a R, Interval)>
+where
+    K: Ord,
+    FL: Fn(&L) -> K,
+    FR: Fn(&R) -> K,
+    IL: Fn(&L) -> Interval,
+    IR: Fn(&R) -> Interval,
+{
+    merge_join_gallop(left, right, left_key, right_key)
+        .into_iter()
+        .filter_map(|(l, r)| left_interval(l).intersect(&right_interval(r)).map(|iv| (l, r, iv)))
+        .collect()
+}
+
+/// The first index `>= start` whose key is `>= target`, found by an exponential
+/// probe (1, 2, 4, … steps) followed by a binary search of the overshot window —
+/// `O(log d)` for a jump of distance `d`.
+fn gallop_to<T, K, F>(items: &[T], start: usize, key: &F, target: &K) -> usize
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    if start >= items.len() || key(&items[start]) >= *target {
+        return start;
+    }
+    // Invariant: items[lo] < target; items[hi..] is unexplored or >= target.
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut hi = start + step;
+    while hi < items.len() && key(&items[hi]) < *target {
+        lo = hi;
+        step = step.saturating_mul(2);
+        hi = lo + step;
+    }
+    let mut hi = hi.min(items.len());
+    let mut next = lo + 1;
+    while next < hi {
+        let mid = next + (hi - next) / 2;
+        if key(&items[mid]) < *target {
+            next = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    next
+}
+
 fn group_end<T, K, F>(items: &[T], start: usize, key: &F) -> usize
 where
     K: Ord,
@@ -188,6 +295,69 @@ mod tests {
             |r| r.interval
         )
         .is_empty());
+    }
+
+    #[test]
+    fn galloping_join_matches_the_linear_scan() {
+        // A few probe keys against a long, many-group "permutation": the gallop
+        // must skip the unmatched groups without changing the result.
+        let left = vec![row(7, 0, 9, "l7"), row(7, 2, 4, "l7b"), row(900, 0, 9, "l900")];
+        let right: Vec<Row> =
+            (0..1000u32).map(|k| row(k, (k % 5) as u64, (k % 5 + 3) as u64, "r")).collect();
+        let plain: Vec<(u32, u32)> = merge_join(&left, &right, |l| l.key, |r| r.key)
+            .into_iter()
+            .map(|(l, r)| (l.key, r.key))
+            .collect();
+        let galloped: Vec<(u32, u32)> = merge_join_gallop(&left, &right, |l| l.key, |r| r.key)
+            .into_iter()
+            .map(|(l, r)| (l.key, r.key))
+            .collect();
+        assert_eq!(plain, galloped);
+        assert_eq!(galloped.len(), 3);
+
+        let plain_iv = interval_merge_join(
+            &left,
+            &right,
+            |l| l.key,
+            |r| r.key,
+            |l| l.interval,
+            |r| r.interval,
+        );
+        let galloped_iv = interval_merge_join_gallop(
+            &left,
+            &right,
+            |l| l.key,
+            |r| r.key,
+            |l| l.interval,
+            |r| r.interval,
+        );
+        assert_eq!(
+            plain_iv.iter().map(|(l, r, iv)| (l.key, r.key, *iv)).collect::<Vec<_>>(),
+            galloped_iv.iter().map(|(l, r, iv)| (l.key, r.key, *iv)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gallop_seeks_land_on_group_starts() {
+        let items: Vec<u32> = vec![1, 1, 3, 3, 3, 8, 9, 9, 12];
+        let key = |&x: &u32| x;
+        assert_eq!(gallop_to(&items, 0, &key, &1), 0);
+        assert_eq!(gallop_to(&items, 0, &key, &2), 2);
+        assert_eq!(gallop_to(&items, 0, &key, &3), 2);
+        assert_eq!(gallop_to(&items, 1, &key, &9), 6);
+        assert_eq!(gallop_to(&items, 0, &key, &12), 8);
+        assert_eq!(gallop_to(&items, 0, &key, &13), items.len());
+        assert_eq!(gallop_to(&items, 8, &key, &1), 8);
+        assert_eq!(gallop_to(&items, 9, &key, &1), 9);
+        // Large jumps from every starting offset stay consistent with a scan.
+        let long: Vec<u32> = (0..257).map(|i| i / 3).collect();
+        for start in 0..long.len() {
+            for target in [0u32, 1, 40, 85, 100] {
+                let expected =
+                    (start..long.len()).find(|&i| long[i] >= target).unwrap_or(long.len());
+                assert_eq!(gallop_to(&long, start, &key, &target), expected, "{start} {target}");
+            }
+        }
     }
 
     #[test]

@@ -6,4 +6,6 @@ pub mod merge_join;
 
 pub use coalesce::{coalesce, point_count};
 pub use join::{hash_join, interval_hash_join};
-pub use merge_join::{interval_merge_join, is_key_sorted, merge_join};
+pub use merge_join::{
+    interval_merge_join, interval_merge_join_gallop, is_key_sorted, merge_join, merge_join_gallop,
+};

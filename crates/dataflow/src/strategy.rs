@@ -38,18 +38,58 @@ pub enum ResolvedJoin {
     Merge,
 }
 
+/// The `Auto` cost crossover: merge is chosen only when the probe side carries at
+/// least one row per this many indexed rows.  A merge pass streams the key-sorted
+/// permutation (galloping over unmatched groups), so a tiny probe batch against a
+/// long permutation is better served by the precomputed per-key hash indexes; a
+/// probe batch of comparable size amortises the stream and wins on locality.
+pub const AUTO_MERGE_PROBE_RATIO: usize = 8;
+
 impl JoinStrategy {
     /// Resolves the strategy for one join, given whether the join inputs are already
     /// sorted by the join key.
     ///
     /// `Hash` and `Merge` are unconditional; `Auto` picks merge exactly when the
-    /// inputs are sorted (so no extra sort is ever paid on the auto path).
+    /// inputs are sorted (so no extra sort is ever paid on the auto path).  Callers
+    /// that know the input cardinalities should prefer
+    /// [`JoinStrategy::resolve_with_hint`], which adds a cost guard on top of the
+    /// sortedness rule.
     pub fn resolve(self, inputs_key_sorted: bool) -> ResolvedJoin {
         match self {
             JoinStrategy::Hash => ResolvedJoin::Hash,
             JoinStrategy::Merge => ResolvedJoin::Merge,
             JoinStrategy::Auto => {
                 if inputs_key_sorted {
+                    ResolvedJoin::Merge
+                } else {
+                    ResolvedJoin::Hash
+                }
+            }
+        }
+    }
+
+    /// Resolves the strategy for one join from input sortedness *and* a simple cost
+    /// heuristic: probe-side row count versus indexed-side row count.
+    ///
+    /// `Hash` and `Merge` stay unconditional.  `Auto` picks merge only when the
+    /// inputs are key-sorted (merging unsorted inputs would pay a sort) **and** the
+    /// probe side is not vanishingly small relative to the indexed side —
+    /// `probe_rows × `[`AUTO_MERGE_PROBE_RATIO`]` ≥ index_rows` — since a handful of
+    /// probes against a long permutation resolve faster through the per-key hash
+    /// indexes than through a merge stream.
+    pub fn resolve_with_hint(
+        self,
+        inputs_key_sorted: bool,
+        probe_rows: usize,
+        index_rows: usize,
+    ) -> ResolvedJoin {
+        match self {
+            JoinStrategy::Hash => ResolvedJoin::Hash,
+            JoinStrategy::Merge => ResolvedJoin::Merge,
+            JoinStrategy::Auto => {
+                let worth_streaming =
+                    probe_rows.saturating_mul(AUTO_MERGE_PROBE_RATIO) >= index_rows;
+                if inputs_key_sorted && worth_streaming {
                     ResolvedJoin::Merge
                 } else {
                     ResolvedJoin::Hash
@@ -101,6 +141,30 @@ mod tests {
         assert_eq!(JoinStrategy::Merge.resolve(false), ResolvedJoin::Merge);
         assert_eq!(JoinStrategy::Auto.resolve(true), ResolvedJoin::Merge);
         assert_eq!(JoinStrategy::Auto.resolve(false), ResolvedJoin::Hash);
+    }
+
+    #[test]
+    fn cost_hint_pins_the_auto_crossover() {
+        // Pinned strategies ignore the hint entirely.
+        assert_eq!(JoinStrategy::Hash.resolve_with_hint(true, 1_000, 1), ResolvedJoin::Hash);
+        assert_eq!(JoinStrategy::Merge.resolve_with_hint(false, 1, 1_000), ResolvedJoin::Merge);
+        // Auto never merges unsorted inputs, however favourable the cardinalities.
+        assert_eq!(JoinStrategy::Auto.resolve_with_hint(false, 1_000, 1), ResolvedJoin::Hash);
+        // The crossover: merge exactly when probe × ratio reaches the index size.
+        let ratio = AUTO_MERGE_PROBE_RATIO;
+        assert_eq!(
+            JoinStrategy::Auto.resolve_with_hint(true, 100, 100 * ratio),
+            ResolvedJoin::Merge
+        );
+        assert_eq!(
+            JoinStrategy::Auto.resolve_with_hint(true, 100, 100 * ratio + 1),
+            ResolvedJoin::Hash
+        );
+        // Equal-sized sides always merge; a huge probe side over a tiny index too.
+        assert_eq!(JoinStrategy::Auto.resolve_with_hint(true, 500, 500), ResolvedJoin::Merge);
+        assert_eq!(JoinStrategy::Auto.resolve_with_hint(true, usize::MAX, 10), ResolvedJoin::Merge);
+        // Empty probe batches degrade to hash (nothing to stream for).
+        assert_eq!(JoinStrategy::Auto.resolve_with_hint(true, 0, 10), ResolvedJoin::Hash);
     }
 
     #[test]

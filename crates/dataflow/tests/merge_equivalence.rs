@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use dataflow::sorted::{coalesce_kway, coalesce_sorted, kway_merge_dedup, SortedRelation};
-use dataflow::{coalesce, interval_hash_join, interval_merge_join};
+use dataflow::{coalesce, interval_hash_join, interval_merge_join, interval_merge_join_gallop};
 use tgraph::Interval;
 
 const MAX_TIME: u64 = 15;
@@ -66,6 +66,29 @@ proptest! {
         merged.sort_unstable();
         hashed.sort_unstable();
         prop_assert_eq!(merged, hashed);
+    }
+
+    #[test]
+    fn galloping_merge_join_equals_the_linear_merge_join(
+        mut left in rows_strategy(),
+        mut right in rows_strategy(),
+    ) {
+        // The galloping group seeks must not change the join output in any way —
+        // same rows, same order (both joins emit left-major key-group order).
+        left.sort();
+        right.sort();
+        let plain: Vec<(u32, u32, Interval)> =
+            interval_merge_join(&left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval)
+                .into_iter()
+                .map(|(l, r, iv)| (l.id, r.id, iv))
+                .collect();
+        let galloped: Vec<(u32, u32, Interval)> = interval_merge_join_gallop(
+            &left, &right, |l| l.key, |r| r.key, |l| l.interval, |r| r.interval,
+        )
+        .into_iter()
+        .map(|(l, r, iv)| (l.id, r.id, iv))
+        .collect();
+        prop_assert_eq!(plain, galloped);
     }
 
     #[test]

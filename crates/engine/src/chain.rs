@@ -78,6 +78,10 @@ pub struct BoundVar {
 /// A partially (or fully) matched pattern instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Chain {
+    /// The node row this chain was seeded at (Step 1 seeds one chain per live node
+    /// row).  Live query maintenance groups chains by the seed's node to reuse
+    /// results of seeds a delta cannot have affected.
+    pub seed: u32,
     /// Final validity intervals of the segments completed so far, in order.
     pub seg_intervals: Vec<Interval>,
     /// The admissible time skew of every time-crossing closure boundary crossed so
@@ -99,6 +103,7 @@ impl Chain {
     pub fn seed(row_index: u32, graph: &GraphRelations) -> Self {
         let position = Position::NodeRow(row_index);
         Chain {
+            seed: row_index,
             seg_intervals: Vec::new(),
             lags: Vec::new(),
             bound: Vec::new(),

@@ -98,7 +98,7 @@ pub struct QueryOutput {
 /// The join strategy in effect for one execution: the options take precedence unless
 /// left at `Auto`, in which case the strategy compiled into the plan set applies (and
 /// `Auto` there means per-join adaptive selection).
-fn effective_strategy(plan_set: &PlanSet, options: &ExecutionOptions) -> JoinStrategy {
+pub fn effective_strategy(plan_set: &PlanSet, options: &ExecutionOptions) -> JoinStrategy {
     match options.join_strategy {
         JoinStrategy::Auto => plan_set.join_strategy,
         pinned => pinned,
@@ -197,7 +197,7 @@ pub fn execute_query(
     execute(&plan_set, graph, options)
 }
 
-/// Runs Steps 1–2 of a single plan: seeds the first segment with every node row
+/// Runs Steps 1–2 of a single plan: seeds the first segment with every live node row
 /// (chunked across worker threads), then alternates structural segments and temporal
 /// links (plain shifts or time-aware closures).  The seed rows of every chunk are
 /// ascending node-row indices, so the first hop of each chunk sees key-sorted input —
@@ -209,8 +209,26 @@ fn run_plan(
     strategy: JoinStrategy,
     stats: &StepStats,
 ) -> Vec<Chain> {
-    let seed_rows: Vec<u32> = (0..graph.node_rows().len() as u32).collect();
-    par_chunk_flat_map(&seed_rows, parallelism, |rows| {
+    run_plan_seeded(plan, graph, &graph.seed_rows(), parallelism, strategy, stats)
+}
+
+/// Runs Steps 1–2 of a single plan from an explicit set of seed node rows.
+///
+/// This is the entry point of delta-seeded live query maintenance (`crates/live`):
+/// a refresh re-runs the SPJ pipeline and fixpoints only from the node rows a batch
+/// could have affected, instead of from every row like [`execute`] does.  The
+/// returned chains record their seed row ([`Chain::seed`]), so callers can group
+/// them back by starting node.  Seed rows should be ascending for the `Auto`
+/// strategy to start on the merge path (any order is correct).
+pub fn run_plan_seeded(
+    plan: &EnginePlan,
+    graph: &GraphRelations,
+    seed_rows: &[u32],
+    parallelism: Parallelism,
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<Chain> {
+    par_chunk_flat_map(seed_rows, parallelism, |rows| {
         let mut chains: Vec<Chain> = rows.iter().map(|&r| Chain::seed(r, graph)).collect();
         for (index, segment) in plan.segments.iter().enumerate() {
             if index > 0 {

@@ -46,10 +46,14 @@ pub use chain::TimeLag;
 pub use compiler::{compile, compile_with_strategy};
 pub use dataflow::JoinStrategy;
 pub use executor::{
-    execute, execute_clause, execute_query, execute_text, ExecutionOptions, QueryOutput, QueryStats,
+    effective_strategy, execute, execute_clause, execute_query, execute_text, run_plan_seeded,
+    ExecutionOptions, QueryOutput, QueryStats,
 };
 pub use plan::{
     ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
     TemporalLink,
 };
-pub use relations::{EdgeRow, GraphRelations, NodeRow, RelationStats};
+pub use relations::{
+    CanonicalRelations, DeltaStats, EdgeRow, GraphRelations, NodeRow, RelationStats,
+};
+pub use steps::StepStats;

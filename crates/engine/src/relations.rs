@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dataflow::SortedRelation;
 use tgraph::{EdgeId, Interval, IntervalSet, Itpg, NodeId, Object, Time, Value};
 
 /// One temporally-constant state of a node.
@@ -73,6 +74,41 @@ pub struct RelationStats {
     pub temporal_edges: usize,
 }
 
+/// Row-level change summary of one [`GraphRelations::apply_delta`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Node rows appended by the delta.
+    pub node_rows_added: usize,
+    /// Node rows retracted (tombstoned) by the delta.
+    pub node_rows_retracted: usize,
+    /// Edge rows appended by the delta.
+    pub edge_rows_added: usize,
+    /// Edge rows retracted (tombstoned) by the delta.
+    pub edge_rows_retracted: usize,
+}
+
+/// A canonical, tombstone-free view of the relations, used to check that an
+/// incrementally maintained [`GraphRelations`] is equivalent to one bulk-loaded
+/// with [`GraphRelations::from_itpg`] (row *indices* differ between the two —
+/// deltas append rows — but the logical content must not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalRelations {
+    /// The temporal domain.
+    pub domain: Interval,
+    /// Live node rows, sorted by `(node, interval)`.
+    pub nodes: Vec<NodeRow>,
+    /// Live edge rows, sorted by `(edge, interval)`.
+    pub edges: Vec<EdgeRow>,
+    /// Per-node coalesced existence.
+    pub node_existence: Vec<IntervalSet>,
+    /// Per-edge coalesced existence.
+    pub edge_existence: Vec<IntervalSet>,
+    /// Node display names, by id.
+    pub node_names: Vec<String>,
+    /// Edge display names, by id.
+    pub edge_names: Vec<String>,
+}
+
 /// The pair of interval-timestamped relations plus the indexes the engine navigates
 /// with.
 #[derive(Debug, Clone)]
@@ -93,6 +129,16 @@ pub struct GraphRelations {
     node_rows_by_id_sorted: Vec<u32>,
     edge_rows_by_src_sorted: Vec<u32>,
     edge_rows_by_tgt_sorted: Vec<u32>,
+    // Liveness of every row.  `from_itpg` produces all-live relations;
+    // `apply_delta` tombstones the rows of touched objects instead of compacting
+    // the row vectors, so row indices of *untouched* objects stay stable (which is
+    // what lets live query maintenance reuse cached results).  Tombstoned rows are
+    // unreachable through every index and permutation; only direct slice access
+    // (`node_rows()` / `edge_rows()`) can still observe them.
+    node_row_live: Vec<bool>,
+    edge_row_live: Vec<bool>,
+    dead_node_rows: usize,
+    dead_edge_rows: usize,
 }
 
 impl GraphRelations {
@@ -162,6 +208,8 @@ impl GraphRelations {
         let edge_rows_by_tgt_sorted =
             sorted_permutation(&edge_rows_by_tgt, |r| edges[r as usize].interval);
 
+        let node_row_live = vec![true; nodes.len()];
+        let edge_row_live = vec![true; edges.len()];
         GraphRelations {
             domain: graph.domain(),
             nodes,
@@ -177,7 +225,153 @@ impl GraphRelations {
             node_rows_by_id_sorted,
             edge_rows_by_src_sorted,
             edge_rows_by_tgt_sorted,
+            node_row_live,
+            edge_row_live,
+            dead_node_rows: 0,
+            dead_edge_rows: 0,
         }
+    }
+
+    /// Applies one batch worth of changes to the relations *in place*, given the
+    /// post-batch graph and the set of objects the batch touched (as reported by
+    /// [`tgraph::Itpg::apply_batch`]).
+    ///
+    /// The contract: `graph` must be exactly `self`'s previous graph plus the
+    /// changes covered by `touched` — every object whose existence or properties
+    /// changed (including newly created objects) must appear in `touched`.  The
+    /// rows of touched objects are retracted (tombstoned, see the field docs) and
+    /// recomputed from `graph`; rows of untouched objects keep their indices and
+    /// content.  The key-sorted permutations are maintained by filtering the
+    /// retracted entries out of the old (still sorted) permutation and
+    /// [`SortedRelation::union_merge`]-ing the new rows in — no re-sort of the
+    /// surviving entries, no segment recomputation for untouched objects.
+    pub fn apply_delta(&mut self, graph: &Itpg, touched: &[Object]) -> DeltaStats {
+        debug_assert!(graph.num_nodes() >= self.node_names.len());
+        debug_assert!(graph.num_edges() >= self.edge_names.len());
+        let mut stats = DeltaStats::default();
+        self.domain = graph.domain();
+
+        // Extend the per-object tables for objects created since the last delta.
+        for index in self.node_names.len()..graph.num_nodes() {
+            self.node_names.push(graph.name(Object::Node(NodeId(index as u32))).to_owned());
+            self.node_existence.push(IntervalSet::empty());
+            self.node_rows_by_id.push(Vec::new());
+            self.edge_rows_by_src.push(Vec::new());
+            self.edge_rows_by_tgt.push(Vec::new());
+        }
+        for index in self.edge_names.len()..graph.num_edges() {
+            self.edge_names.push(graph.name(Object::Edge(EdgeId(index as u32))).to_owned());
+            self.edge_existence.push(IntervalSet::empty());
+            self.edge_rows_by_id.push(Vec::new());
+        }
+
+        let mut label_cache: HashMap<String, Arc<str>> = HashMap::new();
+        let mut prop_name_cache: HashMap<String, Arc<str>> = HashMap::new();
+        // New permutation entries, accumulated as (key, interval, row) triples.
+        let mut new_by_node: Vec<(usize, Interval, u32)> = Vec::new();
+        let mut new_by_src: Vec<(usize, Interval, u32)> = Vec::new();
+        let mut new_by_tgt: Vec<(usize, Interval, u32)> = Vec::new();
+
+        for &object in touched {
+            match object {
+                Object::Node(n) => {
+                    for &row in &self.node_rows_by_id[n.index()] {
+                        debug_assert!(self.node_row_live[row as usize]);
+                        self.node_row_live[row as usize] = false;
+                        self.dead_node_rows += 1;
+                        stats.node_rows_retracted += 1;
+                    }
+                    self.node_rows_by_id[n.index()].clear();
+                    self.node_existence[n.index()] = graph.existence(object).clone();
+                    let label = label_cache
+                        .entry(graph.label(object).to_owned())
+                        .or_insert_with(|| Arc::from(graph.label(object)))
+                        .clone();
+                    for segment in object_segments(graph, object) {
+                        let props = props_at(graph, object, segment.start(), &mut |s| {
+                            prop_name_cache
+                                .entry(s.to_owned())
+                                .or_insert_with(|| Arc::from(s))
+                                .clone()
+                        });
+                        let row = self.nodes.len() as u32;
+                        self.node_rows_by_id[n.index()].push(row);
+                        new_by_node.push((n.index(), segment, row));
+                        self.nodes.push(NodeRow {
+                            node: n,
+                            label: label.clone(),
+                            props,
+                            interval: segment,
+                        });
+                        self.node_row_live.push(true);
+                        stats.node_rows_added += 1;
+                    }
+                }
+                Object::Edge(e) => {
+                    let (src, tgt) = (graph.src(e), graph.tgt(e));
+                    let old_rows = std::mem::take(&mut self.edge_rows_by_id[e.index()]);
+                    for &row in &old_rows {
+                        debug_assert!(self.edge_row_live[row as usize]);
+                        self.edge_row_live[row as usize] = false;
+                        self.dead_edge_rows += 1;
+                        stats.edge_rows_retracted += 1;
+                    }
+                    self.edge_rows_by_src[src.index()].retain(|r| !old_rows.contains(r));
+                    self.edge_rows_by_tgt[tgt.index()].retain(|r| !old_rows.contains(r));
+                    self.edge_existence[e.index()] = graph.existence(object).clone();
+                    let label = label_cache
+                        .entry(graph.label(object).to_owned())
+                        .or_insert_with(|| Arc::from(graph.label(object)))
+                        .clone();
+                    for segment in object_segments(graph, object) {
+                        let props = props_at(graph, object, segment.start(), &mut |s| {
+                            prop_name_cache
+                                .entry(s.to_owned())
+                                .or_insert_with(|| Arc::from(s))
+                                .clone()
+                        });
+                        let row = self.edges.len() as u32;
+                        self.edge_rows_by_id[e.index()].push(row);
+                        self.edge_rows_by_src[src.index()].push(row);
+                        self.edge_rows_by_tgt[tgt.index()].push(row);
+                        new_by_src.push((src.index(), segment, row));
+                        new_by_tgt.push((tgt.index(), segment, row));
+                        self.edges.push(EdgeRow {
+                            edge: e,
+                            src,
+                            tgt,
+                            label: label.clone(),
+                            props,
+                            interval: segment,
+                        });
+                        self.edge_row_live.push(true);
+                        stats.edge_rows_added += 1;
+                    }
+                }
+            }
+        }
+
+        let nodes = &self.nodes;
+        let edges = &self.edges;
+        self.node_rows_by_id_sorted = merge_permutation(
+            &self.node_rows_by_id_sorted,
+            &self.node_row_live,
+            new_by_node,
+            |r| (nodes[r as usize].node.index(), nodes[r as usize].interval),
+        );
+        self.edge_rows_by_src_sorted = merge_permutation(
+            &self.edge_rows_by_src_sorted,
+            &self.edge_row_live,
+            new_by_src,
+            |r| (edges[r as usize].src.index(), edges[r as usize].interval),
+        );
+        self.edge_rows_by_tgt_sorted = merge_permutation(
+            &self.edge_rows_by_tgt_sorted,
+            &self.edge_row_live,
+            new_by_tgt,
+            |r| (edges[r as usize].tgt.index(), edges[r as usize].interval),
+        );
+        stats
     }
 
     /// The temporal domain of the graph.
@@ -185,14 +379,66 @@ impl GraphRelations {
         self.domain
     }
 
-    /// The rows of the Nodes relation.
+    /// The physical rows of the Nodes relation.  After [`GraphRelations::apply_delta`]
+    /// the slice may contain tombstoned rows (see [`GraphRelations::is_node_row_live`]);
+    /// rows reached through the indexes and permutations are always live.
     pub fn node_rows(&self) -> &[NodeRow] {
         &self.nodes
     }
 
-    /// The rows of the Edges relation.
+    /// The physical rows of the Edges relation (see [`GraphRelations::node_rows`] on
+    /// tombstones).
     pub fn edge_rows(&self) -> &[EdgeRow] {
         &self.edges
+    }
+
+    /// True if the node row at this index has not been retracted by a delta.
+    pub fn is_node_row_live(&self, row: u32) -> bool {
+        self.node_row_live[row as usize]
+    }
+
+    /// True if the edge row at this index has not been retracted by a delta.
+    pub fn is_edge_row_live(&self, row: u32) -> bool {
+        self.edge_row_live[row as usize]
+    }
+
+    /// The indices of all live node rows — the seed rows of Step 1 evaluation.
+    pub fn seed_rows(&self) -> Vec<u32> {
+        if self.dead_node_rows == 0 {
+            (0..self.nodes.len() as u32).collect()
+        } else {
+            (0..self.nodes.len() as u32).filter(|&r| self.node_row_live[r as usize]).collect()
+        }
+    }
+
+    /// A canonical, tombstone-free snapshot for equivalence checks between
+    /// incrementally maintained and bulk-loaded relations.
+    pub fn canonical_snapshot(&self) -> CanonicalRelations {
+        let mut nodes: Vec<NodeRow> = self
+            .nodes
+            .iter()
+            .zip(&self.node_row_live)
+            .filter(|(_, &live)| live)
+            .map(|(row, _)| row.clone())
+            .collect();
+        nodes.sort_by_key(|row| (row.node, row.interval));
+        let mut edges: Vec<EdgeRow> = self
+            .edges
+            .iter()
+            .zip(&self.edge_row_live)
+            .filter(|(_, &live)| live)
+            .map(|(row, _)| row.clone())
+            .collect();
+        edges.sort_by_key(|row| (row.edge, row.interval));
+        CanonicalRelations {
+            domain: self.domain,
+            nodes,
+            edges,
+            node_existence: self.node_existence.clone(),
+            edge_existence: self.edge_existence.clone(),
+            node_names: self.node_names.clone(),
+            edge_names: self.edge_names.clone(),
+        }
     }
 
     /// Row indices of the Nodes relation describing the given node.
@@ -263,15 +509,42 @@ impl GraphRelations {
         self.edge_names.len()
     }
 
-    /// Summary statistics of the relational representation (Table I).
+    /// Summary statistics of the relational representation (Table I).  Tombstoned
+    /// rows are not counted.
     pub fn stats(&self) -> RelationStats {
         RelationStats {
             nodes: self.num_nodes(),
             edges: self.num_edges(),
-            temporal_nodes: self.nodes.len(),
-            temporal_edges: self.edges.len(),
+            temporal_nodes: self.nodes.len() - self.dead_node_rows,
+            temporal_edges: self.edges.len() - self.dead_edge_rows,
         }
     }
+}
+
+/// Maintains one key-sorted permutation across a delta: the surviving entries of
+/// the old permutation (which stay `(key, start)`-sorted — tombstoning preserves
+/// relative order) are [`SortedRelation::union_merge`]d with the sorted entries of
+/// the newly appended rows, so no re-sort of the old permutation is ever paid.
+fn merge_permutation(
+    old: &[u32],
+    live: &[bool],
+    mut added: Vec<(usize, Interval, u32)>,
+    key_of: impl Fn(u32) -> (usize, Interval),
+) -> Vec<u32> {
+    added.sort_unstable_by_key(|&(key, interval, row)| (key, interval, row));
+    let survivors: Vec<(usize, Interval, u32)> = old
+        .iter()
+        .filter(|&&row| live[row as usize])
+        .map(|&row| {
+            let (key, interval) = key_of(row);
+            (key, interval, row)
+        })
+        .collect();
+    let old_rel = SortedRelation::from_sorted(survivors)
+        .expect("surviving permutation entries stay key/start-sorted");
+    let new_rel =
+        SortedRelation::from_sorted(added).expect("freshly sorted entries satisfy the invariant");
+    old_rel.union_merge(new_rel).into_rows().into_iter().map(|(_, _, row)| row).collect()
 }
 
 /// Splits the lifetime of an object into maximal intervals during which none of its
@@ -402,6 +675,102 @@ mod tests {
             (a.node, a.interval.start()) <= (b.node, b.interval.start())
         }));
         assert_eq!(rel.edge_rows_sorted_by_src().len(), rel.edge_rows().len());
+    }
+
+    /// Asserts the invariants a delta must preserve: permutations cover exactly the
+    /// live rows in `(key, start)` order, and the per-object index lists agree with
+    /// the liveness bitmap.
+    fn assert_delta_invariants(rel: &GraphRelations) {
+        let live_nodes =
+            (0..rel.node_rows().len() as u32).filter(|&r| rel.is_node_row_live(r)).count();
+        let live_edges =
+            (0..rel.edge_rows().len() as u32).filter(|&r| rel.is_edge_row_live(r)).count();
+        assert_eq!(rel.node_rows_sorted_by_id().len(), live_nodes);
+        assert_eq!(rel.edge_rows_sorted_by_src().len(), live_edges);
+        assert_eq!(rel.edge_rows_sorted_by_tgt().len(), live_edges);
+        assert_eq!(rel.seed_rows().len(), live_nodes);
+        assert_eq!(rel.stats().temporal_nodes, live_nodes);
+        assert_eq!(rel.stats().temporal_edges, live_edges);
+        assert!(rel.node_rows_sorted_by_id().windows(2).all(|w| {
+            let (a, b) = (&rel.node_rows()[w[0] as usize], &rel.node_rows()[w[1] as usize]);
+            (a.node, a.interval.start()) <= (b.node, b.interval.start())
+        }));
+        assert!(rel.edge_rows_sorted_by_src().windows(2).all(|w| {
+            let (a, b) = (&rel.edge_rows()[w[0] as usize], &rel.edge_rows()[w[1] as usize]);
+            (a.src, a.interval.start()) <= (b.src, b.interval.start())
+        }));
+        assert!(rel.edge_rows_sorted_by_tgt().windows(2).all(|w| {
+            let (a, b) = (&rel.edge_rows()[w[0] as usize], &rel.edge_rows()[w[1] as usize]);
+            (a.tgt, a.interval.start()) <= (b.tgt, b.interval.start())
+        }));
+        assert!(rel.node_rows_sorted_by_id().iter().all(|&r| rel.is_node_row_live(r)));
+        assert!(rel.edge_rows_sorted_by_src().iter().all(|&r| rel.is_edge_row_live(r)));
+        assert!(rel.edge_rows_sorted_by_tgt().iter().all(|&r| rel.is_edge_row_live(r)));
+    }
+
+    #[test]
+    fn deltas_match_a_bulk_rebuild() {
+        let mut itpg = sample();
+        let mut rel = GraphRelations::from_itpg(&itpg);
+
+        // Extend Bob's existence (coalesces his [5,9] row away), flip his risk, add
+        // a new person with an edge to him, and extend the old edge's existence.
+        let mut batch = tgraph::Batch::new(1);
+        batch
+            .add_existence("n2", iv(10, 12))
+            .set_property("n2", "risk", "low", iv(10, 12))
+            .add_node("n9", "Person")
+            .add_existence("n9", iv(2, 8))
+            .set_property("n9", "name", "Zed", iv(2, 8))
+            .add_edge("e9", "meets", "n9", "n2")
+            .add_existence("e9", iv(6, 7))
+            .add_existence("e1", iv(7, 8));
+        let applied = itpg.apply_batch(&batch).unwrap();
+        let stats = rel.apply_delta(&itpg, &applied.touched);
+        assert!(stats.node_rows_added > 0 && stats.node_rows_retracted > 0);
+        assert!(stats.edge_rows_added > 0 && stats.edge_rows_retracted > 0);
+
+        assert_delta_invariants(&rel);
+        let bulk = GraphRelations::from_itpg(&itpg);
+        assert_eq!(rel.canonical_snapshot(), bulk.canonical_snapshot());
+        assert_eq!(rel.stats(), bulk.stats());
+
+        // Untouched objects keep their physical rows: n1 had one row before and
+        // still points at the same index.
+        assert_eq!(rel.rows_of_node(NodeId(0)), bulk.rows_of_node(NodeId(0)));
+
+        // A second delta on top of the first behaves the same.
+        let mut second = tgraph::Batch::new(2);
+        second.set_property("n9", "risk", "high", iv(3, 4)).add_existence("e9", iv(3, 3));
+        let applied = itpg.apply_batch(&second).unwrap();
+        rel.apply_delta(&itpg, &applied.touched);
+        assert_delta_invariants(&rel);
+        assert_eq!(rel.canonical_snapshot(), GraphRelations::from_itpg(&itpg).canonical_snapshot());
+    }
+
+    #[test]
+    fn deltas_starting_from_an_empty_graph_match_a_bulk_build() {
+        let mut itpg = Itpg::empty(iv(1, 11));
+        let mut rel = GraphRelations::from_itpg(&itpg);
+        assert_eq!(rel.stats().temporal_nodes, 0);
+        let mut batch = tgraph::Batch::new(1);
+        batch
+            .add_node("a", "Person")
+            .add_node("b", "Person")
+            .add_existence("a", iv(1, 9))
+            .add_existence("b", iv(2, 6))
+            .set_property("a", "risk", "high", iv(1, 4))
+            .add_edge("e", "meets", "a", "b")
+            .add_existence("e", iv(3, 5));
+        let applied = itpg.apply_batch(&batch).unwrap();
+        rel.apply_delta(&itpg, &applied.touched);
+        assert_delta_invariants(&rel);
+        let bulk = GraphRelations::from_itpg(&itpg);
+        assert_eq!(rel.canonical_snapshot(), bulk.canonical_snapshot());
+        // With no prior rows, delta loading is literally a bulk build: indices agree.
+        assert_eq!(rel.node_rows(), bulk.node_rows());
+        assert_eq!(rel.edge_rows(), bulk.edge_rows());
+        assert_eq!(rel.node_rows_sorted_by_id(), bulk.node_rows_sorted_by_id());
     }
 
     #[test]

@@ -201,6 +201,7 @@ mod tests {
     #[test]
     fn structural_chains_keep_interval_bindings() {
         let chain = Chain {
+            seed: 0,
             seg_intervals: vec![],
             lags: vec![],
             bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
@@ -219,6 +220,7 @@ mod tests {
         // Two segments on the same object: seg0 over [3,4], seg1 over [5,9], linked by
         // NEXT[2,4]; both segments bind a variable.
         let chain = Chain {
+            seed: 0,
             seg_intervals: vec![iv(3, 4)],
             lags: vec![],
             bound: vec![
@@ -252,6 +254,7 @@ mod tests {
     fn trailing_unbound_segments_are_feasibility_checked_not_enumerated() {
         // Only segment 0 binds a variable; segment 1 must merely be reachable.
         let chain = Chain {
+            seed: 0,
             seg_intervals: vec![iv(0, 6)],
             lags: vec![],
             bound: vec![BoundVar { slot: 0, segment: 0, object: obj() }],
@@ -271,6 +274,7 @@ mod tests {
     #[test]
     fn backward_shifts_expand_correctly() {
         let chain = Chain {
+            seed: 0,
             seg_intervals: vec![iv(7, 8)],
             lags: vec![],
             bound: vec![
@@ -297,6 +301,7 @@ mod tests {
         // A time-aware closure boundary: the chain carries the admissible skew
         // itself instead of reading it off the plan.
         let chain = Chain {
+            seed: 0,
             seg_intervals: vec![iv(3, 5)],
             lags: vec![TimeLag { lo: 2, hi: 3 }],
             bound: vec![
@@ -319,6 +324,7 @@ mod tests {
 
         // A negative lag (backward navigation inside the closure).
         let backward = Chain {
+            seed: 0,
             seg_intervals: vec![iv(6, 7)],
             lags: vec![TimeLag { lo: -2, hi: -2 }],
             bound: vec![

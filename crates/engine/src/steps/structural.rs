@@ -11,15 +11,20 @@
 //! * `Hash` probes the per-node adjacency indexes built at load time (a hash join
 //!   whose build side is precomputed);
 //! * `Merge` runs a sort-merge join against the key-sorted row permutations of
-//!   [`GraphRelations`], sorting the chains by their join key first if needed;
-//! * `Auto` picks merge exactly when the chains are already key-sorted — which the
-//!   seed-row expansion naturally produces for the first hop — and hash otherwise.
+//!   [`GraphRelations`], sorting the chains by their join key first if needed.  The
+//!   merge uses galloping group seeks ([`interval_merge_join_gallop`]), so a very
+//!   selective batch of chains skips the unmatched key groups of the permutation
+//!   instead of scanning them;
+//! * `Auto` picks merge when the chains are already key-sorted — which the seed-row
+//!   expansion naturally produces for the first hop — *and* the chain batch is not
+//!   vanishingly small relative to the permutation
+//!   ([`JoinStrategy::resolve_with_hint`]); hash otherwise.
 //!
 //! The pipeline is generic over a [`StructuralCursor`]: the executor drives it with
 //! full [`Chain`]s, while the closure operator drives the same joins with its
 //! lightweight tagged frontier entries (the "delta" of the semi-naive iteration).
 
-use dataflow::{interval_merge_join, is_key_sorted, JoinStrategy, ResolvedJoin};
+use dataflow::{interval_merge_join_gallop, is_key_sorted, JoinStrategy, ResolvedJoin};
 use tgraph::Interval;
 
 use crate::chain::{BoundVar, Chain, Position};
@@ -173,8 +178,17 @@ fn hop_from_nodes<C: StructuralCursor>(
         Position::NodeRow(r) => graph.node_rows()[r as usize].node.index(),
         Position::EdgeRow(_) => unreachable!("node hop over an edge-positioned cursor"),
     };
+    type EdgeKeyFn = fn(&GraphRelations, u32) -> usize;
+    let (perm, edge_key): (&[u32], EdgeKeyFn) = match direction {
+        HopDirection::Forward => {
+            (graph.edge_rows_sorted_by_src(), |g, r| g.edge_rows()[r as usize].src.index())
+        }
+        HopDirection::Backward => {
+            (graph.edge_rows_sorted_by_tgt(), |g, r| g.edge_rows()[r as usize].tgt.index())
+        }
+    };
     let sorted = is_key_sorted(&cursors, key);
-    match strategy.resolve(sorted) {
+    match strategy.resolve_with_hint(sorted, cursors.len(), perm.len()) {
         ResolvedJoin::Hash => {
             for cursor in &cursors {
                 let node = graph.node_rows()[match cursor.position() {
@@ -193,16 +207,7 @@ fn hop_from_nodes<C: StructuralCursor>(
             if !sorted {
                 cursors.sort_by_key(key);
             }
-            type EdgeKeyFn = fn(&GraphRelations, u32) -> usize;
-            let (perm, edge_key): (&[u32], EdgeKeyFn) = match direction {
-                HopDirection::Forward => {
-                    (graph.edge_rows_sorted_by_src(), |g, r| g.edge_rows()[r as usize].src.index())
-                }
-                HopDirection::Backward => {
-                    (graph.edge_rows_sorted_by_tgt(), |g, r| g.edge_rows()[r as usize].tgt.index())
-                }
-            };
-            let joined = interval_merge_join(
+            let joined = interval_merge_join_gallop(
                 &cursors,
                 perm,
                 key,
@@ -238,7 +243,8 @@ fn hop_from_edges<C: StructuralCursor>(
     };
     let key = |c: &C| endpoint(c).index();
     let sorted = is_key_sorted(&cursors, key);
-    match strategy.resolve(sorted) {
+    let perm_len = graph.node_rows_sorted_by_id().len();
+    match strategy.resolve_with_hint(sorted, cursors.len(), perm_len) {
         ResolvedJoin::Hash => {
             for cursor in &cursors {
                 extend_with_node_rows(graph, cursor, graph.rows_of_node(endpoint(cursor)), out);
@@ -248,7 +254,7 @@ fn hop_from_edges<C: StructuralCursor>(
             if !sorted {
                 cursors.sort_by_key(key);
             }
-            let joined = interval_merge_join(
+            let joined = interval_merge_join_gallop(
                 &cursors,
                 graph.node_rows_sorted_by_id(),
                 key,

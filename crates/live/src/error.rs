@@ -1,0 +1,56 @@
+//! Errors of the live-graph subsystem.
+
+use std::fmt;
+
+/// Errors produced while ingesting batches into or registering queries on a
+/// [`crate::LiveGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveError {
+    /// A batch failed graph-level validation (unknown names, dangling edges,
+    /// properties outside existence, …).  The graph is left unmodified.
+    Graph(tgraph::GraphError),
+    /// A registered query failed to parse or compile.
+    Query(trpq::QueryError),
+    /// A batch arrived with an epoch not strictly greater than the last applied
+    /// one.  The delta log is append-only; epochs must increase.
+    NonMonotonicEpoch {
+        /// The epoch of the last applied batch.
+        last: u64,
+        /// The offending epoch.
+        got: u64,
+    },
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Graph(e) => write!(f, "batch rejected: {e}"),
+            LiveError::Query(e) => write!(f, "query rejected: {e}"),
+            LiveError::NonMonotonicEpoch { last, got } => {
+                write!(f, "batch epoch {got} is not greater than the last applied epoch {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Graph(e) => Some(e),
+            LiveError::Query(e) => Some(e),
+            LiveError::NonMonotonicEpoch { .. } => None,
+        }
+    }
+}
+
+impl From<tgraph::GraphError> for LiveError {
+    fn from(e: tgraph::GraphError) -> Self {
+        LiveError::Graph(e)
+    }
+}
+
+impl From<trpq::QueryError> for LiveError {
+    fn from(e: trpq::QueryError) -> Self {
+        LiveError::Query(e)
+    }
+}

@@ -1,0 +1,310 @@
+//! The live graph handle: batch ingestion, epoch bookkeeping, and the registry
+//! of maintained queries.
+
+use engine::bindings::BindingTable;
+use engine::plan::PlanSet;
+use engine::{
+    compile, effective_strategy, DeltaStats, ExecutionOptions, GraphRelations, JoinStrategy,
+};
+use tgraph::{AppliedBatch, Batch, Interval, Itpg};
+use trpq::queries::QueryId;
+
+use crate::error::LiveError;
+use crate::query::{LiveQueryId, QueryState, RefreshStats};
+
+/// What one [`LiveGraph::apply`] call did: the graph-level outcome plus the
+/// row-level delta folded into the engine relations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestStats {
+    /// The graph-level outcome (created and touched objects).
+    pub applied: AppliedBatch,
+    /// The row-level relation delta.
+    pub delta: DeltaStats,
+    /// Number of mutations in the batch.
+    pub mutations: usize,
+}
+
+/// A temporal graph that is fed by an append-only stream of epoched mutation
+/// batches and maintains the answers of registered queries.
+///
+/// The graph owns both representations the engine needs — the succinct
+/// [`Itpg`] (the source of truth mutated by batches) and the interval
+/// relations ([`GraphRelations`]) kept in sync incrementally — plus one
+/// maintained result table per registered query.  `apply` ingests a batch and
+/// marks every registered query dirty; `refresh` folds the accumulated deltas
+/// into one query's answer (see [`RefreshStats`] for what a refresh reports).
+#[derive(Debug, Clone)]
+pub struct LiveGraph {
+    itpg: Itpg,
+    relations: GraphRelations,
+    options: ExecutionOptions,
+    last_epoch: Option<u64>,
+    batches_applied: usize,
+    queries: Vec<QueryState>,
+}
+
+impl LiveGraph {
+    /// An empty live graph over an initial temporal domain (the domain grows
+    /// automatically as batches mention later time points), with default
+    /// execution options.
+    pub fn new(domain: Interval) -> Self {
+        LiveGraph::with_options(Itpg::empty(domain), ExecutionOptions::default())
+    }
+
+    /// A live graph starting from an existing (bulk-loaded) graph — epoch zero
+    /// of the delta log — with explicit execution options.
+    pub fn with_options(itpg: Itpg, options: ExecutionOptions) -> Self {
+        let relations = GraphRelations::from_itpg(&itpg);
+        LiveGraph {
+            itpg,
+            relations,
+            options,
+            last_epoch: None,
+            batches_applied: 0,
+            queries: Vec::new(),
+        }
+    }
+
+    /// The current graph (the state after every applied batch).
+    pub fn itpg(&self) -> &Itpg {
+        &self.itpg
+    }
+
+    /// The incrementally maintained engine relations.
+    pub fn relations(&self) -> &GraphRelations {
+        &self.relations
+    }
+
+    /// The epoch of the last applied batch, if any.
+    pub fn epoch(&self) -> Option<u64> {
+        self.last_epoch
+    }
+
+    /// The number of batches applied so far.
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// The execution options queries are maintained under.
+    pub fn options(&self) -> &ExecutionOptions {
+        &self.options
+    }
+
+    /// Ingests one batch: validates and applies it to the graph, folds the
+    /// row-level delta into the relations, and marks every registered query
+    /// dirty.  Epochs must be strictly increasing; a rejected batch leaves
+    /// graph, relations and queries untouched.
+    pub fn apply(&mut self, batch: &Batch) -> Result<IngestStats, LiveError> {
+        if let Some(last) = self.last_epoch {
+            if batch.epoch <= last {
+                return Err(LiveError::NonMonotonicEpoch { last, got: batch.epoch });
+            }
+        }
+        let applied = self.itpg.apply_batch(batch)?;
+        let delta = self.relations.apply_delta(&self.itpg, &applied.touched);
+        for query in &mut self.queries {
+            query.note_touched(&applied.touched);
+        }
+        self.last_epoch = Some(applied.epoch);
+        self.batches_applied += 1;
+        Ok(IngestStats { applied, delta, mutations: batch.mutations.len() })
+    }
+
+    /// Registers a compiled plan set for maintenance.  The initial answer is
+    /// computed immediately (a full evaluation); subsequent [`LiveGraph::refresh`]
+    /// calls keep it in sync with applied batches.
+    pub fn register(&mut self, plan_set: PlanSet) -> LiveQueryId {
+        let strategy = self.strategy_for(&plan_set);
+        let state =
+            QueryState::build(plan_set, &self.relations, self.options.parallelism, strategy);
+        self.queries.push(state);
+        LiveQueryId(self.queries.len() - 1)
+    }
+
+    /// Registers a query given in the practical `MATCH …` surface syntax.
+    pub fn register_text(&mut self, query: &str) -> Result<LiveQueryId, LiveError> {
+        let clause = trpq::parser::parse_match(query)?;
+        Ok(self.register(compile(&clause)?))
+    }
+
+    /// Registers one of the paper's benchmark queries Q1–Q12.
+    pub fn register_query(&mut self, id: QueryId) -> LiveQueryId {
+        self.register(engine::queries::plan_for(id))
+    }
+
+    /// Folds every batch applied since the last refresh into the query's
+    /// maintained answer.  A refresh with nothing pending is a cheap no-op.
+    pub fn refresh(&mut self, id: LiveQueryId) -> RefreshStats {
+        let strategy = self.strategy_for(self.queries[id.0].plan_set());
+        self.queries[id.0].refresh(
+            &self.itpg,
+            &self.relations,
+            self.options.parallelism,
+            strategy,
+            self.last_epoch,
+        )
+    }
+
+    /// Refreshes every registered query, returning one stats record per query
+    /// in registration order.
+    pub fn refresh_all(&mut self) -> Vec<RefreshStats> {
+        (0..self.queries.len()).map(|i| self.refresh(LiveQueryId(i))).collect()
+    }
+
+    /// The maintained answer of a registered query, current as of its last
+    /// refresh.
+    pub fn table(&self, id: LiveQueryId) -> &BindingTable {
+        self.queries[id.0].table()
+    }
+
+    /// The number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn strategy_for(&self, plan_set: &PlanSet) -> JoinStrategy {
+        effective_strategy(plan_set, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::execute;
+    use tgraph::Interval;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::of(a, b)
+    }
+
+    /// Replays the tiny contact-tracing story of the executor tests as a stream.
+    fn story() -> Vec<Batch> {
+        let mut b1 = Batch::new(1);
+        b1.add_node("mia", "Person")
+            .add_node("eve", "Person")
+            .add_node("room", "Room")
+            .add_existence("mia", iv(1, 10))
+            .add_existence("eve", iv(1, 10))
+            .add_existence("room", iv(1, 10))
+            .set_property("mia", "risk", "high", iv(1, 10))
+            .set_property("eve", "risk", "low", iv(1, 10));
+        let mut b2 = Batch::new(2);
+        b2.add_edge("meets1", "meets", "mia", "eve")
+            .add_existence("meets1", iv(2, 3))
+            .add_edge("visits1", "visits", "eve", "room")
+            .add_existence("visits1", iv(5, 6));
+        let mut b3 = Batch::new(8);
+        b3.set_property("eve", "test", "pos", iv(8, 10));
+        vec![b1, b2, b3]
+    }
+
+    const Q9ISH: &str =
+        "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) ON live";
+
+    #[test]
+    fn maintained_answers_track_the_stream() {
+        let mut graph =
+            LiveGraph::with_options(Itpg::empty(iv(1, 10)), ExecutionOptions::sequential());
+        let q = graph.register_text(Q9ISH).unwrap();
+        assert!(graph.table(q).is_empty());
+
+        let batches = story();
+        graph.apply(&batches[0]).unwrap();
+        let stats = graph.refresh(q);
+        assert_eq!(stats.output_rows, 0, "no meetings and no positive test yet");
+        assert!(!stats.fallback_full, "a fixed-hop plan never falls back");
+
+        graph.apply(&batches[1]).unwrap();
+        let stats = graph.refresh(q);
+        assert_eq!(stats.output_rows, 0, "still nobody positive");
+        assert!(stats.affected_seeds > 0);
+
+        graph.apply(&batches[2]).unwrap();
+        let stats = graph.refresh(q);
+        assert_eq!(stats.rows_added, 2, "mia's meeting times 2 and 3 become answers");
+        assert_eq!(stats.rows_retracted, 0);
+        assert_eq!(graph.table(q).len(), 2);
+
+        // The maintained answer matches a from-scratch execution exactly.
+        let scratch = GraphRelations::from_itpg(graph.itpg());
+        let clause = trpq::parser::parse_match(Q9ISH).unwrap();
+        let expected =
+            execute(&compile(&clause).unwrap(), &scratch, &ExecutionOptions::sequential());
+        assert_eq!(graph.table(q), &expected.table);
+    }
+
+    #[test]
+    fn closure_queries_are_maintained_through_the_fallback() {
+        let mut graph =
+            LiveGraph::with_options(Itpg::empty(iv(1, 10)), ExecutionOptions::sequential());
+        let reach =
+            graph.register_text("MATCH (x:Person)-/(FWD/:meets/FWD)*/-(y:Person) ON live").unwrap();
+        for batch in story() {
+            graph.apply(&batch).unwrap();
+            let stats = graph.refresh(reach);
+            assert!(stats.fallback_full, "closure plans take the conservative path");
+            let scratch = GraphRelations::from_itpg(graph.itpg());
+            let clause = trpq::parser::parse_match(
+                "MATCH (x:Person)-/(FWD/:meets/FWD)*/-(y:Person) ON live",
+            )
+            .unwrap();
+            let expected =
+                execute(&compile(&clause).unwrap(), &scratch, &ExecutionOptions::sequential());
+            assert_eq!(graph.table(reach), &expected.table);
+        }
+    }
+
+    #[test]
+    fn epochs_must_increase() {
+        let mut graph = LiveGraph::new(iv(1, 5));
+        let mut b = Batch::new(3);
+        b.add_node("a", "Person").add_existence("a", iv(1, 2));
+        graph.apply(&b).unwrap();
+        let mut stale = Batch::new(3);
+        stale.add_node("b", "Person").add_existence("b", iv(1, 2));
+        assert!(matches!(
+            graph.apply(&stale),
+            Err(LiveError::NonMonotonicEpoch { last: 3, got: 3 })
+        ));
+        assert_eq!(graph.epoch(), Some(3));
+        assert_eq!(graph.batches_applied(), 1);
+        stale.epoch = 4;
+        graph.apply(&stale).unwrap();
+        assert_eq!(graph.relations().stats().nodes, 2);
+    }
+
+    #[test]
+    fn refresh_without_pending_deltas_is_a_no_op() {
+        let mut graph = LiveGraph::new(iv(1, 10));
+        let q = graph.register_query(QueryId::Q1);
+        let mut b = Batch::new(1);
+        b.add_node("p", "Person").add_existence("p", iv(1, 9));
+        graph.apply(&b).unwrap();
+        let first = graph.refresh(q);
+        assert_eq!(first.rows_added, 1);
+        let second = graph.refresh(q);
+        assert_eq!((second.rows_added, second.rows_retracted, second.affected_seeds), (0, 0, 0));
+        assert_eq!(second.output_rows, 1);
+    }
+
+    #[test]
+    fn registration_after_ingestion_sees_the_current_graph() {
+        let mut graph = LiveGraph::new(iv(1, 10));
+        for batch in story() {
+            graph.apply(&batch).unwrap();
+        }
+        let q = graph.register_text(Q9ISH).unwrap();
+        assert_eq!(graph.table(q).len(), 2);
+        // And keeps being maintained afterwards.
+        let mut b4 = Batch::new(9);
+        b4.add_node("zoe", "Person")
+            .add_existence("zoe", iv(1, 10))
+            .set_property("zoe", "risk", "high", iv(1, 10))
+            .add_edge("meets2", "meets", "zoe", "eve")
+            .add_existence("meets2", iv(4, 4));
+        graph.apply(&b4).unwrap();
+        let stats = graph.refresh(q);
+        assert_eq!(stats.rows_added, 1, "zoe's meeting at time 4 reaches the positive test");
+        assert_eq!(graph.table(q).len(), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! # live — streaming ingestion and incremental query maintenance
+//!
+//! The paper evaluates TRPQs over a frozen graph, but the contact-tracing
+//! scenario it motivates is inherently *live*: new contacts and test results
+//! arrive continuously.  This crate turns the batch engine into a serving
+//! system: a [`LiveGraph`] ingests an append-only sequence of epoched mutation
+//! [`Batch`]es (see [`tgraph::delta`]) and *maintains* the answers of registered
+//! queries instead of re-running them from scratch.
+//!
+//! Maintenance is **exact** and works in three layers:
+//!
+//! 1. **Relation deltas** — every batch is applied to the engine's
+//!    interval-timestamped relations in place
+//!    ([`engine::GraphRelations::apply_delta`]): rows of touched objects are
+//!    retracted and recomputed, rows of untouched objects keep their indices,
+//!    and the key-sorted permutations are maintained by a linear
+//!    filter-and-union-merge rather than a rebuild.
+//! 2. **Delta-seeded evaluation** — for a plan with a statically known hop
+//!    count `H` (every plan without a closure fixpoint), a chain seeded at a
+//!    node can only observe objects within `H` structural hops of that node, so
+//!    a batch can only change the results of seeds within `H` hops of a touched
+//!    object.  A refresh re-runs the SPJ pipeline from those seeds alone
+//!    ([`engine::run_plan_seeded`]) and splices the per-seed results into the
+//!    cached answer.
+//! 3. **Conservative fallback** — plans containing a (structural or time-aware)
+//!    closure have unbounded reach, so their alternatives are recomputed from
+//!    every seed on refresh.  The refresh reports this honestly through
+//!    [`RefreshStats::fallback_full`]; the answer is exact either way.
+//!
+//! ```
+//! use live::LiveGraph;
+//! use tgraph::{Batch, Interval};
+//!
+//! let mut graph = LiveGraph::new(Interval::of(1, 10));
+//! let risky = graph
+//!     .register_text("MATCH (x:Person {risk = 'high'}) ON live")
+//!     .unwrap();
+//!
+//! let mut batch = Batch::new(1);
+//! batch.add_node("ann", "Person").add_existence("ann", Interval::of(1, 9)).set_property(
+//!     "ann",
+//!     "risk",
+//!     "high",
+//!     Interval::of(1, 9),
+//! );
+//! graph.apply(&batch).unwrap();
+//! let stats = graph.refresh(risky);
+//! assert_eq!(stats.rows_added, 1);
+//! assert_eq!(graph.table(risky).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod query;
+
+pub use error::LiveError;
+pub use graph::{IngestStats, LiveGraph};
+pub use query::{LiveQueryId, RefreshStats};
+pub use tgraph::{AppliedBatch, Batch, Mutation};

@@ -1,0 +1,369 @@
+//! Maintained query state: per-plan result caches, delta-seeded refresh, and the
+//! statistics a refresh reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use dataflow::Parallelism;
+use engine::bindings::{Binding, BindingTable};
+use engine::plan::{EnginePlan, MicroOp, PlanSet, TemporalLink};
+use engine::steps::expand::expand_chains;
+use engine::steps::StepStats;
+use engine::{run_plan_seeded, GraphRelations, JoinStrategy};
+use tgraph::{Itpg, NodeId, Object};
+
+/// Handle to a query registered on a [`crate::LiveGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LiveQueryId(pub(crate) usize);
+
+/// What one refresh of a maintained query did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// The epoch of the last batch folded into this refresh, if any batch has
+    /// ever been applied.
+    pub epoch: Option<u64>,
+    /// Binding-table rows added relative to the previous maintained answer.
+    pub rows_added: usize,
+    /// Binding-table rows retracted relative to the previous maintained answer.
+    pub rows_retracted: usize,
+    /// Rows of the maintained answer after the refresh.
+    pub output_rows: usize,
+    /// Seed nodes whose results were recomputed by delta seeding (0 when every
+    /// plan either fell back to a full recompute or was untouched).
+    pub affected_seeds: usize,
+    /// True if at least one plan alternative was recomputed from every seed —
+    /// the conservative fallback taken for plans whose reach is not statically
+    /// bounded (closure fixpoints).
+    pub fallback_full: bool,
+    /// Structural-closure fixpoint rounds executed during the refresh.
+    pub closure_rounds: usize,
+    /// Time-aware-closure fixpoint rounds executed during the refresh.
+    pub time_rounds: usize,
+    /// Wall-clock time of the refresh.
+    pub duration: Duration,
+}
+
+/// One plan alternative's cached results.
+#[derive(Debug, Clone)]
+struct PlanCache {
+    /// `Some(h)`: the plan performs exactly `h` structural hops and no closure —
+    /// delta seeding is exact.  `None`: the plan contains a closure fixpoint and
+    /// refreshes fall back to a full recompute.
+    hops: Option<usize>,
+    /// Expanded binding rows grouped by seed node (incremental plans).
+    by_seed: BTreeMap<u32, Vec<Vec<Binding>>>,
+    /// Expanded binding rows of the whole plan (fallback plans).
+    full: Vec<Vec<Binding>>,
+}
+
+/// A registered query: its compiled plan set plus the maintained answer.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryState {
+    plan_set: PlanSet,
+    plans: Vec<PlanCache>,
+    table: BindingTable,
+    /// Objects touched by batches applied since the last refresh.
+    pending: BTreeSet<Object>,
+}
+
+impl QueryState {
+    /// Compiles the initial state of a registered query: a full evaluation of
+    /// every plan, cached per seed node for the incremental alternatives.
+    pub(crate) fn build(
+        plan_set: PlanSet,
+        graph: &GraphRelations,
+        parallelism: Parallelism,
+        strategy: JoinStrategy,
+    ) -> Self {
+        let step_stats = StepStats::default();
+        let num_slots = plan_set.variables.len();
+        let seeds = graph.seed_rows();
+        let mut plans = Vec::with_capacity(plan_set.plans.len());
+        for plan in &plan_set.plans {
+            let hops = plan_hop_depth(plan);
+            let chains = run_plan_seeded(plan, graph, &seeds, parallelism, strategy, &step_stats);
+            let mut cache = PlanCache { hops, by_seed: BTreeMap::new(), full: Vec::new() };
+            match hops {
+                Some(_) => {
+                    for (node, group) in group_by_seed_node(graph, chains) {
+                        let rows = expand_group(plan, &plan_set.variables, num_slots, &group);
+                        if !rows.is_empty() {
+                            cache.by_seed.insert(node, rows);
+                        }
+                    }
+                }
+                None => {
+                    cache.full = expand_group(plan, &plan_set.variables, num_slots, &chains);
+                }
+            }
+            plans.push(cache);
+        }
+        let mut state = QueryState {
+            plan_set,
+            plans,
+            table: BindingTable::default(),
+            pending: BTreeSet::new(),
+        };
+        state.table = state.assemble();
+        state
+    }
+
+    pub(crate) fn plan_set(&self) -> &PlanSet {
+        &self.plan_set
+    }
+
+    pub(crate) fn table(&self) -> &BindingTable {
+        &self.table
+    }
+
+    pub(crate) fn note_touched(&mut self, touched: &[Object]) {
+        self.pending.extend(touched.iter().copied());
+    }
+
+    /// Folds every pending delta into the maintained answer.
+    pub(crate) fn refresh(
+        &mut self,
+        itpg: &Itpg,
+        graph: &GraphRelations,
+        parallelism: Parallelism,
+        strategy: JoinStrategy,
+        epoch: Option<u64>,
+    ) -> RefreshStats {
+        let started = std::time::Instant::now();
+        let mut stats = RefreshStats { epoch, ..Default::default() };
+        if self.pending.is_empty() {
+            stats.output_rows = self.table.len();
+            stats.duration = started.elapsed();
+            return stats;
+        }
+        let touched: BTreeSet<Object> = std::mem::take(&mut self.pending);
+        let step_stats = StepStats::default();
+        let num_slots = self.plan_set.variables.len();
+        for (plan, cache) in self.plan_set.plans.iter().zip(&mut self.plans) {
+            match cache.hops {
+                None => {
+                    // Conservative fallback: the closure's reach is unbounded,
+                    // so recompute this alternative from every live seed.
+                    stats.fallback_full = true;
+                    let chains = run_plan_seeded(
+                        plan,
+                        graph,
+                        &graph.seed_rows(),
+                        parallelism,
+                        strategy,
+                        &step_stats,
+                    );
+                    cache.full = expand_group(plan, &self.plan_set.variables, num_slots, &chains);
+                }
+                Some(hops) => {
+                    let affected = affected_nodes(itpg, &touched, hops);
+                    stats.affected_seeds += affected.len();
+                    let mut seeds: Vec<u32> = affected
+                        .iter()
+                        .flat_map(|&n| graph.rows_of_node(n).iter().copied())
+                        .collect();
+                    seeds.sort_unstable();
+                    let chains =
+                        run_plan_seeded(plan, graph, &seeds, parallelism, strategy, &step_stats);
+                    let mut recomputed = group_by_seed_node(graph, chains);
+                    for &node in &affected {
+                        let rows = match recomputed.remove(&node.0) {
+                            Some(group) => {
+                                expand_group(plan, &self.plan_set.variables, num_slots, &group)
+                            }
+                            None => Vec::new(),
+                        };
+                        if rows.is_empty() {
+                            cache.by_seed.remove(&node.0);
+                        } else {
+                            cache.by_seed.insert(node.0, rows);
+                        }
+                    }
+                    debug_assert!(recomputed.is_empty(), "chains from unrequested seeds");
+                }
+            }
+        }
+        let next = self.assemble();
+        let (added, retracted) = diff_sorted(&self.table.rows, &next.rows);
+        stats.rows_added = added;
+        stats.rows_retracted = retracted;
+        stats.output_rows = next.len();
+        stats.closure_rounds = step_stats.closure_rounds.load(Ordering::Relaxed);
+        stats.time_rounds = step_stats.time_closure_rounds.load(Ordering::Relaxed);
+        self.table = next;
+        stats.duration = started.elapsed();
+        stats
+    }
+
+    /// Concatenates every cached row group into the canonical (sorted,
+    /// deduplicated) binding table — the same canonical form
+    /// [`engine::execute`] produces.
+    fn assemble(&self) -> BindingTable {
+        let mut table = BindingTable::new(self.plan_set.variables.clone());
+        for cache in &self.plans {
+            for rows in cache.by_seed.values() {
+                table.rows.extend(rows.iter().cloned());
+            }
+            table.rows.extend(cache.full.iter().cloned());
+        }
+        table.sort_dedup();
+        table
+    }
+}
+
+/// The number of structural hops a plan performs, or `None` if the plan contains
+/// a closure fixpoint (whose reach is not statically bounded).
+fn plan_hop_depth(plan: &EnginePlan) -> Option<usize> {
+    if plan.links.iter().any(|link| matches!(link, TemporalLink::Closure(_))) {
+        return None;
+    }
+    let mut hops = 0usize;
+    for segment in &plan.segments {
+        for op in &segment.ops {
+            match op {
+                MicroOp::Hop(_) => hops += 1,
+                MicroOp::Closure(_) => return None,
+                MicroOp::Filter(_) | MicroOp::Bind(_) => {}
+            }
+        }
+    }
+    Some(hops)
+}
+
+/// Groups chains by the node their seed row belongs to.
+fn group_by_seed_node(
+    graph: &GraphRelations,
+    chains: Vec<engine::chain::Chain>,
+) -> BTreeMap<u32, Vec<engine::chain::Chain>> {
+    let mut grouped: BTreeMap<u32, Vec<engine::chain::Chain>> = BTreeMap::new();
+    for chain in chains {
+        let node = graph.node_rows()[chain.seed as usize].node.0;
+        grouped.entry(node).or_default().push(chain);
+    }
+    grouped
+}
+
+/// Step 3 for one group of chains: expansion into (unsorted) binding rows.
+fn expand_group(
+    plan: &EnginePlan,
+    variables: &[String],
+    num_slots: usize,
+    chains: &[engine::chain::Chain],
+) -> Vec<Vec<Binding>> {
+    let mut partial = BindingTable::new(variables.to_vec());
+    expand_chains(plan, num_slots, chains, &mut partial);
+    partial.rows
+}
+
+/// The nodes whose seeds a delta touching `touched` can have affected, for a
+/// plan performing at most `hops` structural hops: a breadth-first sweep of the
+/// bipartite object graph (nodes ↔ incident edges, one hop per step) to depth
+/// `hops` from every touched object.
+///
+/// Correctness: a chain visits objects in hop order, so any chain observing a
+/// touched object within its first `hops` hops starts within `hops` object-graph
+/// steps of it; adjacency only ever grows, so a sweep over the *current* graph
+/// covers derivations of the old graph too.
+fn affected_nodes(itpg: &Itpg, touched: &BTreeSet<Object>, hops: usize) -> BTreeSet<NodeId> {
+    let mut visited: BTreeSet<Object> = touched.clone();
+    let mut frontier: Vec<Object> = touched.iter().copied().collect();
+    for _ in 0..hops {
+        let mut next: Vec<Object> = Vec::new();
+        for &object in &frontier {
+            match object {
+                Object::Node(n) => {
+                    for &e in itpg.out_edges(n).iter().chain(itpg.in_edges(n).iter()) {
+                        let adjacent = Object::Edge(e);
+                        if visited.insert(adjacent) {
+                            next.push(adjacent);
+                        }
+                    }
+                }
+                Object::Edge(e) => {
+                    for n in [itpg.src(e), itpg.tgt(e)] {
+                        let adjacent = Object::Node(n);
+                        if visited.insert(adjacent) {
+                            next.push(adjacent);
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    visited.into_iter().filter_map(Object::as_node).collect()
+}
+
+/// Counts the rows added and retracted between two sorted, deduplicated row
+/// lists with a single linear merge.
+fn diff_sorted(old: &[Vec<Binding>], new: &[Vec<Binding>]) -> (usize, usize) {
+    let (mut added, mut retracted) = (0usize, 0usize);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Less => {
+                retracted += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    retracted += old.len() - i;
+    added += new.len() - j;
+    (added, retracted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::plan::{HopDirection, ObjFilter, Segment, Shift};
+
+    #[test]
+    fn hop_depth_counts_hops_and_rejects_closures() {
+        let hop = MicroOp::Hop(HopDirection::Forward);
+        let filter = MicroOp::Filter(ObjFilter::default());
+        let plain = EnginePlan {
+            segments: vec![Segment { ops: vec![filter.clone(), hop.clone(), hop.clone()] }],
+            links: vec![],
+        };
+        assert_eq!(plan_hop_depth(&plain), Some(2));
+        let shifted = EnginePlan {
+            segments: vec![Segment { ops: vec![hop.clone()] }, Segment { ops: vec![hop.clone()] }],
+            links: vec![TemporalLink::Shift(Shift { forward: true, min: 0, max: None })],
+        };
+        assert_eq!(plan_hop_depth(&shifted), Some(2));
+        let closure = engine::plan::ClosureOp::structural(vec![vec![hop.clone()]], 0, None);
+        let with_closure = EnginePlan {
+            segments: vec![Segment { ops: vec![MicroOp::Closure(closure.clone())] }],
+            links: vec![],
+        };
+        assert_eq!(plan_hop_depth(&with_closure), None);
+        let with_time_closure = EnginePlan {
+            segments: vec![Segment::default(), Segment::default()],
+            links: vec![TemporalLink::Closure(closure)],
+        };
+        assert_eq!(plan_hop_depth(&with_time_closure), None);
+    }
+
+    #[test]
+    fn sorted_diff_counts_additions_and_retractions() {
+        let row = |object: u32, t: u64| vec![Binding::at_point(Object::Node(NodeId(object)), t)];
+        let old = vec![row(0, 1), row(1, 2), row(2, 3)];
+        let new = vec![row(0, 1), row(1, 5), row(2, 3), row(3, 4)];
+        assert_eq!(diff_sorted(&old, &new), (2, 1));
+        assert_eq!(diff_sorted(&old, &old), (0, 0));
+        assert_eq!(diff_sorted(&[], &old), (3, 0));
+        assert_eq!(diff_sorted(&old, &[]), (0, 3));
+    }
+}

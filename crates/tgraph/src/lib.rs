@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod convert;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod interval;
@@ -41,6 +42,7 @@ pub mod tpg;
 pub mod value;
 pub mod valued;
 
+pub use delta::{AppliedBatch, Batch, Mutation};
 pub use error::{GraphError, Result};
 pub use ids::{EdgeId, NodeId, Object, TemporalObject};
 pub use interval::{Interval, Time};

@@ -12,9 +12,11 @@
 pub mod contact_tracing;
 pub mod figure1;
 pub mod scale;
+pub mod streaming;
 pub mod trajectory;
 
 pub use contact_tracing::{generate, ContactTracingConfig};
 pub use figure1::figure1;
 pub use scale::ScaleFactor;
+pub use streaming::{mutation_count, stream_contact_batches};
 pub use trajectory::{PopularitySampler, Stay, TrajectoryConfig};

@@ -10,8 +10,10 @@
 //! * [`dataflow`] — the interval-relational operators and the chunked parallel
 //!   executor the engine is built on;
 //! * [`engine`] — the interval-based three-step query engine of Section VI;
+//! * [`live`] — live graphs: streaming ingestion of epoched mutation batches and
+//!   incremental maintenance of registered queries;
 //! * [`workload`] — the Figure 1 running example and the synthetic contact-tracing
-//!   graphs of the experimental evaluation.
+//!   graphs of the experimental evaluation (bulk and streamed).
 //!
 //! ```
 //! use tpath::engine::{ExecutionOptions, GraphRelations};
@@ -31,6 +33,7 @@
 
 pub use dataflow;
 pub use engine;
+pub use live;
 pub use tgraph;
 pub use trpq;
 pub use workload;

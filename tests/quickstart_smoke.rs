@@ -1,25 +1,39 @@
-//! Smoke test keeping the README entry path working: `cargo run --example
-//! quickstart` must exit 0 and print the Figure 1 answer. Runs in CI as part of
-//! `cargo test`.
+//! Smoke tests keeping the README entry paths working: `cargo run --example
+//! quickstart` and `cargo run --example live_tracing` must exit 0 and print the
+//! Figure 1 answer. Runs in CI as part of `cargo test`.
 
 use std::process::Command;
 
-#[test]
-fn quickstart_example_runs_and_answers_figure1() {
+fn run_example(example: &str) -> String {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let output = Command::new(cargo)
-        .args(["run", "--quiet", "--example", "quickstart"])
+        .args(["run", "--quiet", "--example", example])
         .env("CARGO_TERM_COLOR", "never")
         .output()
-        .expect("failed to spawn cargo run --example quickstart");
+        .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {example}: {e}"));
     let stdout = String::from_utf8_lossy(&output.stdout);
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
         output.status.success(),
-        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        "{example} exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
         output.status.code()
     );
+    stdout.into_owned()
+}
+
+#[test]
+fn quickstart_example_runs_and_answers_figure1() {
     // The quickstart answers the introduction's motivating question with the
     // three at-risk bindings of the Figure 1 graph.
+    let stdout = run_example("quickstart");
     assert!(stdout.contains("3 bindings"), "unexpected quickstart output:\n{stdout}");
+}
+
+#[test]
+fn live_tracing_example_streams_figure1() {
+    // The live example streams the same story and must converge to the same
+    // three bindings once the positive test arrives.
+    let stdout = run_example("live_tracing");
+    assert!(stdout.contains("3 bindings"), "unexpected live_tracing output:\n{stdout}");
+    assert!(stdout.contains("epoch 9"), "the positive test epoch must be ingested:\n{stdout}");
 }
