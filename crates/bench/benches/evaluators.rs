@@ -23,7 +23,13 @@ fn bench_evaluators(c: &mut Criterion) {
     for id in [QueryId::Q6, QueryId::Q9, QueryId::Q12] {
         let rewritten = rewrite_match(&id.clause()).unwrap();
         group.bench_function(format!("engine/{}", id.name()), |b| {
-            b.iter(|| engine::execute_query(id, &relations, &options).stats.output_rows)
+            b.iter(|| {
+                engine::Query::benchmark(id)
+                    .with_options(options)
+                    .run(&relations)
+                    .stats()
+                    .output_rows
+            })
         });
         group.bench_function(format!("reference_tpg/{}", id.name()), |b| {
             b.iter(|| trpq::eval::tpg::eval_path(&rewritten.path, &tpg).len())
@@ -46,7 +52,11 @@ fn bench_evaluators(c: &mut Criterion) {
     let rewritten = rewrite_match(&QueryId::Q9.clause()).unwrap();
     group.bench_function("engine/Q9", |b| {
         b.iter(|| {
-            engine::execute_query(QueryId::Q9, &synthetic_relations, &options).stats.output_rows
+            engine::Query::benchmark(QueryId::Q9)
+                .with_options(options)
+                .run(&synthetic_relations)
+                .stats()
+                .output_rows
         })
     });
     group.bench_function("reference_tpg/Q9", |b| {

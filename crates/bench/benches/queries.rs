@@ -20,7 +20,9 @@ fn bench_queries(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     for id in QueryId::ALL {
         group.bench_function(id.name(), |b| {
-            b.iter(|| engine::execute_query(id, &graph, &options).stats.output_rows)
+            b.iter(|| {
+                engine::Query::benchmark(id).with_options(options).run(&graph).stats().output_rows
+            })
         });
     }
     group.finish();

@@ -20,7 +20,13 @@ fn bench_scaling(c: &mut Criterion) {
         let graph = GraphRelations::from_itpg(&workload::generate(&config));
         for id in [QueryId::Q5, QueryId::Q9] {
             group.bench_with_input(BenchmarkId::new(id.name(), persons), &persons, |b, _| {
-                b.iter(|| engine::execute_query(id, &graph, &options).stats.output_rows)
+                b.iter(|| {
+                    engine::Query::benchmark(id)
+                        .with_options(options)
+                        .run(&graph)
+                        .stats()
+                        .output_rows
+                })
             });
         }
     }

@@ -28,9 +28,12 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use std::time::Instant;
 
 use bench::json::Json;
-use engine::{ExecutionOptions, GraphRelations, JoinStrategy, PlanSet};
+use engine::{
+    AnswerMode, Binding, CompactAnswers, ExecutionOptions, GraphRelations, JoinStrategy, PlanSet,
+    Query,
+};
 use live::LiveGraph;
-use tgraph::{Interval, Itpg};
+use tgraph::{Interval, Itpg, Object};
 use trpq::parser::MatchClause;
 use trpq::queries::QueryId;
 use workload::{ContactTracingConfig, ScaleFactor};
@@ -137,6 +140,95 @@ fn matrix_queries(smoke: bool) -> Vec<(&'static str, MatchClause)> {
         trpq::parser::parse_match(bench::RECUR_QUERY_TEXT).expect("the RECUR query parses"),
     ));
     queries
+}
+
+/// Rows served before the clock stops in the ANSWERS matrix — a realistic
+/// "first page" of a serving endpoint.
+const FIRST_PAGE: usize = 50;
+
+/// One measured answer-mode cell of the ANSWERS matrix.
+struct AnswerCell {
+    mode: AnswerMode,
+    first_page_rows: usize,
+    first_page_seconds: f64,
+    total_seconds: f64,
+    output_rows: usize,
+    peak_answer_bytes: usize,
+    agree: bool,
+}
+
+/// Runs one closure workload through all three answer modes (threads = 1, auto
+/// strategy) and measures first-page latency and peak answer memory against full
+/// materialisation.  Memory is the deterministic logical footprint of the answer
+/// representation — rows (or buffered rows, or interval pairs) times their size —
+/// rather than process RSS, which is cumulative across the whole run.
+fn run_answers_matrix(clause: &MatchClause, graph: &GraphRelations) -> Vec<AnswerCell> {
+    let query = Query::from_clause(clause)
+        .expect("perf workloads compile")
+        .with_options(ExecutionOptions::with_threads(1));
+
+    // Full materialisation: the first page is only servable once the whole table
+    // exists, so its first-page latency is the total latency.
+    let start = Instant::now();
+    let table = query.run(graph).into_table().expect("the default mode materialises");
+    let full_seconds = start.elapsed().as_secs_f64();
+    let row_bytes =
+        table.columns.len() * std::mem::size_of::<Binding>() + std::mem::size_of::<Vec<Binding>>();
+    let full = AnswerCell {
+        mode: AnswerMode::Materialized,
+        first_page_rows: table.len().min(FIRST_PAGE),
+        first_page_seconds: full_seconds,
+        total_seconds: full_seconds,
+        output_rows: table.len(),
+        peak_answer_bytes: table.len() * row_bytes,
+        agree: true,
+    };
+
+    // Enumeration: pull the first page, then drain the rest to check agreement
+    // with the materialised table (row for row, in canonical order).
+    let start = Instant::now();
+    let mut answers = query.clone().with_mode(AnswerMode::Enumerate).run(graph);
+    let cursor = answers.cursor_mut().expect("enumerate mode hands out a cursor");
+    let mut streamed = cursor.page(FIRST_PAGE);
+    let first_page_seconds = start.elapsed().as_secs_f64();
+    let first_page_rows = streamed.len();
+    streamed.extend(cursor.by_ref());
+    let enum_seconds = start.elapsed().as_secs_f64();
+    let lazy = AnswerCell {
+        mode: AnswerMode::Enumerate,
+        first_page_rows,
+        first_page_seconds,
+        total_seconds: enum_seconds,
+        output_rows: streamed.len(),
+        peak_answer_bytes: cursor.peak_buffered_rows() * row_bytes,
+        agree: streamed.as_slice() == table.rows(),
+    };
+
+    // Compact: no Step-3 expansion at all; agreement is against the coalesced
+    // projection of the materialised table.
+    let start = Instant::now();
+    let compact = query
+        .clone()
+        .with_mode(AnswerMode::Compact)
+        .run(graph)
+        .into_compact()
+        .expect("compact mode hands out interval answers");
+    let compact_seconds = start.elapsed().as_secs_f64();
+    let compact_bytes: usize = compact
+        .iter()
+        .map(|(_, set)| 2 * std::mem::size_of::<Object>() + std::mem::size_of_val(set.intervals()))
+        .sum();
+    let pairs = AnswerCell {
+        mode: AnswerMode::Compact,
+        first_page_rows: compact.num_pairs().min(FIRST_PAGE),
+        first_page_seconds: compact_seconds,
+        total_seconds: compact_seconds,
+        output_rows: compact.num_pairs(),
+        peak_answer_bytes: compact_bytes,
+        agree: compact == CompactAnswers::from_table(&table),
+    };
+
+    vec![full, lazy, pairs]
 }
 
 /// The maintained queries of the LIVE matrix: a purely structural query, a
@@ -252,6 +344,8 @@ fn main() -> ExitCode {
     type Cell = (String, &'static str, usize);
     let mut workloads: Vec<Json> = Vec::new();
     let mut row_counts: BTreeMap<Cell, Vec<(JoinStrategy, usize)>> = BTreeMap::new();
+    let mut answers_entries: Vec<Json> = Vec::new();
+    let mut answer_disagreements = 0usize;
     for (scale_name, config) in &scales {
         let (graph, report) = bench::build_graph_with(config.clone());
         println!(
@@ -295,6 +389,48 @@ fn main() -> ExitCode {
                         ("output_rows", Json::UInt(m.output_size as u64)),
                     ]));
                 }
+            }
+        }
+
+        // The ANSWERS matrix: the closure workloads (the output-heavy queries)
+        // through all three answer modes, first-page latency and peak answer
+        // memory vs. full materialisation.
+        for (query_name, clause) in &queries {
+            if *query_name != bench::REACH_QUERY_NAME && *query_name != bench::RECUR_QUERY_NAME {
+                continue;
+            }
+            for cell in run_answers_matrix(clause, &graph) {
+                println!(
+                    "ANSWERS {scale_name} {query_name} {}: first-page {:.4}s ({} rows), \
+                     total {:.4}s, {} output rows, {} peak answer bytes, agree={}",
+                    cell.mode.name(),
+                    cell.first_page_seconds,
+                    cell.first_page_rows,
+                    cell.total_seconds,
+                    cell.output_rows,
+                    cell.peak_answer_bytes,
+                    cell.agree
+                );
+                if !cell.agree {
+                    eprintln!(
+                        "tpath-perf: ANSWERS {scale_name}/{query_name}/{}: answers diverged \
+                         from the materialised table",
+                        cell.mode.name()
+                    );
+                    answer_disagreements += 1;
+                }
+                answers_entries.push(Json::obj([
+                    ("scale", Json::str(scale_name.clone())),
+                    ("query", Json::str(*query_name)),
+                    ("mode", Json::str(cell.mode.name())),
+                    ("threads", Json::UInt(1)),
+                    ("first_page_rows", Json::UInt(cell.first_page_rows as u64)),
+                    ("first_page_seconds", Json::Float(cell.first_page_seconds)),
+                    ("total_seconds", Json::Float(cell.total_seconds)),
+                    ("output_rows", Json::UInt(cell.output_rows as u64)),
+                    ("peak_answer_bytes", Json::UInt(cell.peak_answer_bytes as u64)),
+                    ("agree", Json::Bool(cell.agree)),
+                ]));
             }
         }
     }
@@ -369,7 +505,7 @@ fn main() -> ExitCode {
         .map(|d| Json::UInt(d.as_secs()))
         .unwrap_or(Json::Null);
     let report = Json::obj([
-        ("schema_version", Json::UInt(2)),
+        ("schema_version", Json::UInt(3)),
         ("label", Json::str(args.label.clone())),
         ("created_unix", created_unix),
         ("smoke", Json::Bool(args.smoke)),
@@ -389,9 +525,11 @@ fn main() -> ExitCode {
         ),
         ("strategies_agree", Json::Bool(disagreements == 0)),
         ("live_agrees", Json::Bool(live_disagreements == 0)),
+        ("answer_modes_agree", Json::Bool(answer_disagreements == 0)),
         ("peak_rss_bytes", bench::peak_rss_bytes().map(Json::UInt).unwrap_or(Json::Null)),
         ("workloads", Json::Arr(workloads)),
         ("live", Json::Arr(live_entries)),
+        ("answers", Json::Arr(answers_entries)),
     ]);
 
     let path = format!("{}/BENCH_{}.json", args.out_dir.trim_end_matches('/'), args.label);
@@ -407,6 +545,10 @@ fn main() -> ExitCode {
     }
     if live_disagreements > 0 {
         eprintln!("tpath-perf: FAILED — {live_disagreements} incremental-vs-full disagreement(s)");
+        return ExitCode::FAILURE;
+    }
+    if answer_disagreements > 0 {
+        eprintln!("tpath-perf: FAILED — {answer_disagreements} answer-mode disagreement(s)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -138,7 +138,8 @@ pub fn measure(
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryMeasurement {
-    summarize(engine::execute_query(id, graph, options))
+    let answers = engine::Query::benchmark(id).with_options(*options).run(graph);
+    summarize(answers.into_output().expect("the default mode materialises"))
 }
 
 /// Compiles and runs a query given as a parsed clause — for harness workloads beyond
@@ -148,7 +149,11 @@ pub fn measure_clause(
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryMeasurement {
-    summarize(engine::execute_clause(clause, graph, options).expect("harness queries compile"))
+    let answers = engine::Query::from_clause(clause)
+        .expect("harness queries compile")
+        .with_options(*options)
+        .run(graph);
+    summarize(answers.into_output().expect("the default mode materialises"))
 }
 
 fn summarize(out: QueryOutput) -> QueryMeasurement {

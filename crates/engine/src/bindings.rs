@@ -78,18 +78,52 @@ impl Binding {
 }
 
 /// A table of variable bindings.
+///
+/// The rows are reachable only through accessors ([`BindingTable::rows`],
+/// [`BindingTable::iter`], [`BindingTable::into_rows`]), so every table handed out by
+/// the engine stays in the canonical sorted, deduplicated order its producers
+/// establish.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BindingTable {
     /// The variable names, in column order.
     pub columns: Vec<String>,
     /// The rows; every row has exactly one binding per column.
-    pub rows: Vec<Vec<Binding>>,
+    rows: Vec<Vec<Binding>>,
 }
 
 impl BindingTable {
     /// Creates an empty table with the given columns.
     pub fn new(columns: Vec<String>) -> Self {
         BindingTable { columns, rows: Vec::new() }
+    }
+
+    /// Creates a table directly from rows; every row must have exactly one binding
+    /// per column.  The rows are taken as-is — callers providing pre-sorted runs
+    /// (e.g. a k-way merge of per-worker runs) keep their order.
+    pub fn from_rows(columns: Vec<String>, rows: Vec<Vec<Binding>>) -> Self {
+        debug_assert!(rows.iter().all(|row| row.len() == columns.len()));
+        BindingTable { columns, rows }
+    }
+
+    /// The rows, each one binding per column.
+    pub fn rows(&self) -> &[Vec<Binding>] {
+        &self.rows
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<Binding>> {
+        self.rows.iter()
+    }
+
+    /// Consumes the table, returning its rows.
+    pub fn into_rows(self) -> Vec<Vec<Binding>> {
+        self.rows
+    }
+
+    /// Appends rows; every row must have exactly one binding per column.
+    pub fn extend_rows<I: IntoIterator<Item = Vec<Binding>>>(&mut self, rows: I) {
+        self.rows.extend(rows);
+        debug_assert!(self.rows.iter().all(|row| row.len() == self.columns.len()));
     }
 
     /// The number of rows (the "output size" reported in Table II).
@@ -152,6 +186,15 @@ impl BindingTable {
     }
 }
 
+impl<'a> IntoIterator for &'a BindingTable {
+    type Item = &'a Vec<Binding>;
+    type IntoIter = std::slice::Iter<'a, Vec<Binding>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,7 +226,19 @@ mod tests {
         assert_eq!(t.len(), 3);
         t.sort_dedup();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.rows[0][0].object, obj(0));
+        assert_eq!(t.rows()[0][0].object, obj(0));
+    }
+
+    #[test]
+    fn accessors_expose_rows_without_the_raw_field() {
+        let rows = vec![vec![Binding::at_point(obj(0), 1)], vec![Binding::at_point(obj(1), 2)]];
+        let t = BindingTable::from_rows(vec!["x".into()], rows.clone());
+        assert_eq!(t.rows(), rows.as_slice());
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+        let mut extended = BindingTable::new(vec!["x".into()]);
+        extended.extend_rows(rows.clone());
+        assert_eq!(extended.into_rows(), rows);
     }
 
     #[test]

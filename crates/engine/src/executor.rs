@@ -11,6 +11,7 @@ use trpq::parser::MatchClause;
 use trpq::queries::QueryId;
 use trpq::Result;
 
+use crate::answers::{compact_from_chains, AnswerCursor, AnswerMode, AnswerSet, Answers};
 use crate::bindings::{Binding, BindingTable};
 use crate::chain::Chain;
 use crate::compiler::compile;
@@ -33,6 +34,10 @@ pub struct ExecutionOptions {
     /// default) defers to the strategy compiled into the plan set, deciding per join
     /// from input sortedness when that one is `Auto` too.
     pub join_strategy: JoinStrategy,
+    /// How [`execute_answers`] (and [`crate::answers::Query::run`]) shapes its
+    /// answers: a materialised table, compact per-pair interval sets, or a lazy
+    /// enumeration cursor.  [`execute`] always materialises and ignores this knob.
+    pub answer_mode: AnswerMode,
 }
 
 impl Default for ExecutionOptions {
@@ -40,6 +45,7 @@ impl Default for ExecutionOptions {
         ExecutionOptions {
             parallelism: Parallelism::available(),
             join_strategy: JoinStrategy::Auto,
+            answer_mode: AnswerMode::Materialized,
         }
     }
 }
@@ -58,6 +64,12 @@ impl ExecutionOptions {
     /// Pins the join strategy, overriding whatever the plan set was compiled with.
     pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
         self.join_strategy = strategy;
+        self
+    }
+
+    /// Selects the answer mode for [`execute_answers`].
+    pub fn with_mode(mut self, mode: AnswerMode) -> Self {
+        self.answer_mode = mode;
         self
     }
 }
@@ -105,16 +117,43 @@ pub fn effective_strategy(plan_set: &PlanSet, options: &ExecutionOptions) -> Joi
     }
 }
 
-/// Executes a compiled plan set over a graph.
-pub fn execute(
+/// The outcome of Steps 1–2: the interval-level chains of every union alternative,
+/// with the measurements taken so far.  Step 3 (or its lazy/compact replacement)
+/// decides what becomes of the chains.
+struct IntervalPhase {
+    per_plan_chains: Vec<Vec<Chain>>,
+    interval_time: Duration,
+    interval_rows: usize,
+    step_stats: StepStats,
+    start: Instant,
+}
+
+impl IntervalPhase {
+    /// Finalises the measurements: `total_time` covers everything since the phase
+    /// started, `output_rows` is whatever the answer shape reports eagerly (lazy
+    /// shapes override it through [`Answers::stats`]).
+    fn finish(&self, output_rows: usize) -> QueryStats {
+        QueryStats {
+            interval_time: self.interval_time,
+            total_time: self.start.elapsed(),
+            interval_rows: self.interval_rows,
+            output_rows,
+            closure_rounds: self.step_stats.closure_rounds.load(Ordering::Relaxed),
+            time_rounds: self.step_stats.time_closure_rounds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Runs Steps 1–2 (structural interval evaluation and temporal pruning) of every
+/// union alternative.
+fn run_interval_phase(
     plan_set: &PlanSet,
     graph: &GraphRelations,
     options: &ExecutionOptions,
-) -> QueryOutput {
-    let strategy = effective_strategy(plan_set, options);
+    strategy: JoinStrategy,
+) -> IntervalPhase {
     let step_stats = StepStats::default();
     let start = Instant::now();
-    // Steps 1 and 2: interval-based evaluation of every union alternative.
     let per_plan_chains: Vec<Vec<Chain>> = plan_set
         .plans
         .iter()
@@ -122,51 +161,91 @@ pub fn execute(
         .collect();
     let interval_time = start.elapsed();
     let interval_rows = per_plan_chains.iter().map(Vec::len).sum();
+    IntervalPhase { per_plan_chains, interval_time, interval_rows, step_stats, start }
+}
 
-    // Step 3: expansion into the final binding table.
+/// Step 3: expands the interval-level chains into the full binding table.
+fn materialize(
+    plan_set: &PlanSet,
+    options: &ExecutionOptions,
+    strategy: JoinStrategy,
+    per_plan_chains: &[Vec<Chain>],
+) -> BindingTable {
     let num_slots = plan_set.variables.len();
-    let mut table = BindingTable::new(plan_set.variables.clone());
     if strategy == JoinStrategy::Hash {
         // Hash path: concatenate the per-chunk rows and sort the result once.
-        for (plan, chains) in plan_set.plans.iter().zip(&per_plan_chains) {
-            let chunk_tables = par_chunk_flat_map(chains, options.parallelism, |chunk| {
+        let mut table = BindingTable::new(plan_set.variables.clone());
+        for (plan, chains) in plan_set.plans.iter().zip(per_plan_chains) {
+            let chunk_rows = par_chunk_flat_map(chains, options.parallelism, |chunk| {
                 let mut partial = BindingTable::new(plan_set.variables.clone());
                 expand_chains(plan, num_slots, chunk, &mut partial);
-                partial.rows
+                partial.into_rows()
             });
-            table.rows.extend(chunk_tables);
+            table.extend_rows(chunk_rows);
         }
         table.sort_dedup();
+        table
     } else {
         // Sorted path: every worker emits an ordered, deduplicated run; the final
         // table is their k-way merge, so the post-union sort disappears.
         let mut runs: Vec<Vec<Vec<Binding>>> = Vec::new();
-        for (plan, chains) in plan_set.plans.iter().zip(&per_plan_chains) {
+        for (plan, chains) in plan_set.plans.iter().zip(per_plan_chains) {
             runs.extend(par_chunk_flat_map(chains, options.parallelism, |chunk| {
                 vec![expand_chunk_sorted(plan, &plan_set.variables, num_slots, chunk)]
             }));
         }
-        table.rows = kway_merge_dedup(runs);
+        BindingTable::from_rows(plan_set.variables.clone(), kway_merge_dedup(runs))
     }
-    let total_time = start.elapsed();
-    let output_rows = table.len();
-    let closure_rounds = step_stats.closure_rounds.load(Ordering::Relaxed);
-    let time_rounds = step_stats.time_closure_rounds.load(Ordering::Relaxed);
+}
 
-    QueryOutput {
-        table,
-        stats: QueryStats {
-            interval_time,
-            total_time,
-            interval_rows,
-            output_rows,
-            closure_rounds,
-            time_rounds,
-        },
+/// Executes a compiled plan set over a graph, materialising the full binding table
+/// regardless of [`ExecutionOptions::answer_mode`].
+pub fn execute(
+    plan_set: &PlanSet,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> QueryOutput {
+    let strategy = effective_strategy(plan_set, options);
+    let phase = run_interval_phase(plan_set, graph, options, strategy);
+    let table = materialize(plan_set, options, strategy, &phase.per_plan_chains);
+    let stats = phase.finish(table.len());
+    QueryOutput { table, stats }
+}
+
+/// Executes a compiled plan set over a graph, shaping the answers according to
+/// [`ExecutionOptions::answer_mode`]: the full table, compact per-pair interval
+/// sets (no Step-3 expansion), or a lazy enumeration cursor (Step-3 on demand).
+pub fn execute_answers(
+    plan_set: &PlanSet,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> Answers {
+    let strategy = effective_strategy(plan_set, options);
+    let phase = run_interval_phase(plan_set, graph, options, strategy);
+    match options.answer_mode {
+        AnswerMode::Materialized => {
+            let table = materialize(plan_set, options, strategy, &phase.per_plan_chains);
+            let stats = phase.finish(table.len());
+            Answers::new(AnswerSet::Table(table), stats)
+        }
+        AnswerMode::Compact => {
+            let compact = compact_from_chains(plan_set, &phase.per_plan_chains);
+            let stats = phase.finish(0);
+            Answers::new(AnswerSet::Compact(compact), stats)
+        }
+        AnswerMode::Enumerate => {
+            let stats = phase.finish(0);
+            let cursor = AnswerCursor::new(plan_set, phase.per_plan_chains);
+            Answers::new(AnswerSet::Cursor(cursor), stats)
+        }
     }
 }
 
 /// Compiles and executes a parsed `MATCH` clause.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Query::from_clause(clause)?.with_options(options).run(graph)`"
+)]
 pub fn execute_clause(
     clause: &MatchClause,
     graph: &GraphRelations,
@@ -177,17 +256,26 @@ pub fn execute_clause(
 }
 
 /// Parses, compiles and executes a query given in the practical surface syntax.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Query::parse(query)?.with_options(options).run(graph)`"
+)]
 pub fn execute_text(
     query: &str,
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> Result<QueryOutput> {
     let clause = trpq::parser::parse_match(query)?;
-    execute_clause(&clause, graph, options)
+    let plan_set = compile(&clause)?;
+    Ok(execute(&plan_set, graph, options))
 }
 
 /// Executes one of the paper's benchmark queries Q1–Q12, using the precompiled plan
 /// table of [`crate::queries`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Query::benchmark(id).with_options(options).run(graph)`"
+)]
 pub fn execute_query(
     id: QueryId,
     graph: &GraphRelations,
@@ -251,6 +339,7 @@ pub fn run_plan_seeded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answers::Query;
     use tgraph::{Interval, Itpg, ItpgBuilder};
 
     fn iv(a: u64, b: u64) -> Interval {
@@ -279,6 +368,26 @@ mod tests {
 
     fn relations() -> GraphRelations {
         GraphRelations::from_itpg(&tiny())
+    }
+
+    /// The tests run everything through the [`Query`] builder (these shadow the
+    /// deprecated free functions the glob import would otherwise bring in).
+    fn execute_text(
+        query: &str,
+        graph: &GraphRelations,
+        options: &ExecutionOptions,
+    ) -> Result<QueryOutput> {
+        let answers = Query::parse(query)?.with_options(*options).run(graph);
+        Ok(answers.into_output().expect("the default mode materialises"))
+    }
+
+    fn execute_query(
+        id: QueryId,
+        graph: &GraphRelations,
+        options: &ExecutionOptions,
+    ) -> QueryOutput {
+        let answers = Query::benchmark(id).with_options(*options).run(graph);
+        answers.into_output().expect("the default mode materialises")
     }
 
     fn names(graph: &GraphRelations, output: &QueryOutput) -> Vec<Vec<String>> {

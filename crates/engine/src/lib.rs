@@ -13,7 +13,7 @@
 //! data-parallel over chunks of the input relation.
 //!
 //! ```
-//! use engine::{ExecutionOptions, GraphRelations};
+//! use engine::{ExecutionOptions, GraphRelations, Query};
 //! use tgraph::{Interval, ItpgBuilder};
 //!
 //! let mut b = ItpgBuilder::new();
@@ -22,16 +22,21 @@
 //! b.set_property(ann, "risk", "high", Interval::of(1, 9)).unwrap();
 //! let graph = GraphRelations::from_itpg(&b.build().unwrap());
 //!
-//! let out = engine::execute_text(
-//!     "MATCH (x:Person {risk = 'high'}) ON g",
-//!     &graph,
-//!     &ExecutionOptions::sequential(),
-//! ).unwrap();
-//! assert_eq!(out.stats.output_rows, 1);
+//! let answers = Query::parse("MATCH (x:Person {risk = 'high'}) ON g")
+//!     .unwrap()
+//!     .with_options(ExecutionOptions::sequential())
+//!     .run(&graph);
+//! assert_eq!(answers.stats().output_rows, 1);
 //! ```
+//!
+//! Besides the materialised [`BindingTable`], answers come in two output-sensitive
+//! shapes ([`answers`]): a lazy [`AnswerCursor`] streaming rows in canonical order
+//! with bounded delay, and [`CompactAnswers`] — per-`(source, target)` coalesced
+//! interval sets computed without point expansion.
 
 #![warn(missing_docs)]
 
+pub mod answers;
 pub mod bindings;
 pub mod chain;
 pub mod compiler;
@@ -41,14 +46,19 @@ pub mod queries;
 pub mod relations;
 pub mod steps;
 
+pub use answers::{
+    AnswerCursor, AnswerMode, AnswerSet, Answers, CompactAnswers, Query, TableCursor,
+};
 pub use bindings::{Binding, BindingTable, TimeRef};
 pub use chain::TimeLag;
 pub use compiler::{compile, compile_with_strategy};
 pub use dataflow::JoinStrategy;
 pub use executor::{
-    effective_strategy, execute, execute_clause, execute_query, execute_text, run_plan_seeded,
-    ExecutionOptions, QueryOutput, QueryStats,
+    effective_strategy, execute, execute_answers, run_plan_seeded, ExecutionOptions, QueryOutput,
+    QueryStats,
 };
+#[allow(deprecated)]
+pub use executor::{execute_clause, execute_query, execute_text};
 pub use plan::{
     ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
     TemporalLink,

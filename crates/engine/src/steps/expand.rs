@@ -43,7 +43,7 @@ pub fn expand_chunk_sorted(
     let mut partial = BindingTable::new(columns.to_vec());
     expand_chains(plan, num_slots, chains, &mut partial);
     partial.sort_dedup();
-    partial.rows
+    partial.into_rows()
 }
 
 fn expand_chain(plan: &EnginePlan, num_slots: usize, chain: &Chain, table: &mut BindingTable) {
@@ -211,7 +211,7 @@ mod tests {
         let mut table = BindingTable::new(vec!["x".into()]);
         expand_chains(&structural_plan(), 1, &[chain], &mut table);
         assert_eq!(table.len(), 1);
-        assert_eq!(table.rows[0][0].time, TimeRef::Interval(iv(2, 5)));
+        assert_eq!(table.rows()[0][0].time, TimeRef::Interval(iv(2, 5)));
         assert_eq!(table.point_tuple_count(), 4);
     }
 
@@ -235,7 +235,7 @@ mod tests {
         expand_chains(&plan, 2, &[chain], &mut table);
         table.sort_dedup();
         let pairs: Vec<(Time, Time)> = table
-            .rows
+            .rows()
             .iter()
             .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
             .collect();
@@ -267,7 +267,7 @@ mod tests {
         table.sort_dedup();
         // Only departure times 6, 7 … wait: departures are [0,6] and arrivals [8,9]
         // with a maximum shift of 2, so only t0 = 6 (→ 8) is feasible.
-        let times: Vec<Time> = table.rows.iter().map(|r| r[0].time.as_point().unwrap()).collect();
+        let times: Vec<Time> = table.rows().iter().map(|r| r[0].time.as_point().unwrap()).collect();
         assert_eq!(times, vec![6]);
     }
 
@@ -289,7 +289,7 @@ mod tests {
         expand_chains(&plan, 2, &[chain], &mut table);
         table.sort_dedup();
         let pairs: Vec<(Time, Time)> = table
-            .rows
+            .rows()
             .iter()
             .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
             .collect();
@@ -315,7 +315,7 @@ mod tests {
         expand_chains(&closure_plan(), 2, &[chain], &mut table);
         table.sort_dedup();
         let pairs: Vec<(Time, Time)> = table
-            .rows
+            .rows()
             .iter()
             .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
             .collect();
@@ -338,7 +338,7 @@ mod tests {
         expand_chains(&closure_plan(), 2, &[backward], &mut table);
         table.sort_dedup();
         let pairs: Vec<(Time, Time)> = table
-            .rows
+            .rows()
             .iter()
             .map(|r| (r[0].time.as_point().unwrap(), r[1].time.as_point().unwrap()))
             .collect();

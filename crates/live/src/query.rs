@@ -185,7 +185,7 @@ impl QueryState {
             }
         }
         let next = self.assemble();
-        let (added, retracted) = diff_sorted(&self.table.rows, &next.rows);
+        let (added, retracted) = diff_sorted(self.table.rows(), next.rows());
         stats.rows_added = added;
         stats.rows_retracted = retracted;
         stats.output_rows = next.len();
@@ -203,9 +203,9 @@ impl QueryState {
         let mut table = BindingTable::new(self.plan_set.variables.clone());
         for cache in &self.plans {
             for rows in cache.by_seed.values() {
-                table.rows.extend(rows.iter().cloned());
+                table.extend_rows(rows.iter().cloned());
             }
-            table.rows.extend(cache.full.iter().cloned());
+            table.extend_rows(cache.full.iter().cloned());
         }
         table.sort_dedup();
         table
@@ -253,7 +253,7 @@ fn expand_group(
 ) -> Vec<Vec<Binding>> {
     let mut partial = BindingTable::new(variables.to_vec());
     expand_chains(plan, num_slots, chains, &mut partial);
-    partial.rows
+    partial.into_rows()
 }
 
 /// The nodes whose seeds a delta touching `touched` can have affected, for a

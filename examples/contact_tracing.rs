@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use tpath::engine::{ExecutionOptions, GraphRelations};
+use tpath::engine::{ExecutionOptions, GraphRelations, Query};
 use tpath::trpq::queries::QueryId;
 use tpath::workload::ContactTracingConfig;
 
@@ -34,20 +34,24 @@ fn main() {
     println!("{:<6} {:>14} {:>14} {:>12}", "query", "interval (ms)", "total (ms)", "output size");
     let options = ExecutionOptions::default();
     for id in QueryId::ALL {
-        let out = tpath::engine::execute_query(id, &graph, &options);
+        let out = Query::benchmark(id).with_options(options).run(&graph);
+        let stats = out.stats();
         println!(
             "{:<6} {:>14.3} {:>14.3} {:>12}",
             id.name(),
-            out.stats.interval_time.as_secs_f64() * 1e3,
-            out.stats.total_time.as_secs_f64() * 1e3,
-            out.stats.output_rows
+            stats.interval_time.as_secs_f64() * 1e3,
+            stats.total_time.as_secs_f64() * 1e3,
+            stats.output_rows
         );
     }
 
     // Zoom in on the most selective contact-tracing question: who should be alerted?
-    let out = tpath::engine::execute_query(QueryId::Q9, &graph, &options);
-    let mut alerted: Vec<&str> =
-        out.table.rows.iter().map(|row| graph.object_name(row[0].object)).collect();
+    let table = Query::benchmark(QueryId::Q9)
+        .with_options(options)
+        .run(&graph)
+        .into_table()
+        .expect("the default mode materialises");
+    let mut alerted: Vec<&str> = table.iter().map(|row| graph.object_name(row[0].object)).collect();
     alerted.sort_unstable();
     alerted.dedup();
     println!("\n{} high-risk individuals met someone who later tested positive", alerted.len());

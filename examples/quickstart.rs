@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use tpath::engine::{ExecutionOptions, GraphRelations};
+use tpath::engine::{ExecutionOptions, GraphRelations, Query};
 use tpath::trpq::queries::QueryId;
 use tpath::workload::figure1;
 
@@ -31,20 +31,24 @@ fn main() {
         "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-(y:Person {test = 'pos'}) \
                  ON contact_tracing";
     println!("{query}\n");
-    let out = tpath::engine::execute_text(query, &graph, &ExecutionOptions::default())
-        .expect("the quickstart query is inside the engine fragment");
-    println!("{}", out.table.display(|o| graph.object_name(o).to_owned()));
+    let out = Query::parse(query)
+        .expect("the quickstart query is inside the engine fragment")
+        .with_options(ExecutionOptions::default())
+        .run(&graph);
+    let table = out.table().expect("the default mode materialises");
+    println!("{}", table.display(|o| graph.object_name(o).to_owned()));
+    let stats = out.stats();
     println!(
         "{} bindings in {:?} ({:?} interval-based)\n",
-        out.stats.output_rows, out.stats.total_time, out.stats.interval_time
+        stats.output_rows, stats.total_time, stats.interval_time
     );
 
     // 4. The same pattern is available as the named benchmark query Q9, and every
     //    other query of the paper can be run the same way.
     for id in [QueryId::Q5, QueryId::Q8, QueryId::Q11] {
-        let out = tpath::engine::execute_query(id, &graph, &ExecutionOptions::default());
-        println!("{}: {} rows", id.name(), out.stats.output_rows);
-        for row in out.table.render(|o| graph.object_name(o).to_owned()) {
+        let out = Query::benchmark(id).run(&graph);
+        println!("{}: {} rows", id.name(), out.stats().output_rows);
+        for row in out.table().expect("materialised").render(|o| graph.object_name(o).to_owned()) {
             println!("    {}", row.join("  "));
         }
     }

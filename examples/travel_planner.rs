@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release --example travel_planner`.
 
-use tpath::engine::{ExecutionOptions, GraphRelations};
+use tpath::engine::{ExecutionOptions, GraphRelations, Query};
 use tpath::tgraph::{Interval, ItpgBuilder};
 
 fn main() {
@@ -49,9 +49,10 @@ fn main() {
         "MATCH (a:City)-/FWD/:train/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
                  ON travel";
     println!("{query}\n");
-    let out = tpath::engine::execute_text(query, &graph, &options).unwrap();
+    let out = Query::parse(query).unwrap().with_options(options).run(&graph);
+    let table = out.table().expect("the default mode materialises");
     println!("multi-modal journeys (origin at departure time, destination at arrival time):");
-    for row in out.table.render(|o| graph.object_name(o).to_owned()) {
+    for row in table.render(|o| graph.object_name(o).to_owned()) {
         println!("  {} departs {}  →  {} arrives {}", row[0], row[1], row[2], row[3]);
     }
 
@@ -59,19 +60,19 @@ fn main() {
     // all-flight itinerary from Tokyo that reaches Sydney today.
     let flights_only = "MATCH (a:City {time = '6'})-/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/NEXT*/FWD/:flight/FWD/-(b:City) \
                         ON travel";
-    let out = tpath::engine::execute_text(flights_only, &graph, &options).unwrap();
+    let out = Query::parse(flights_only).unwrap().with_options(options).run(&graph);
     println!(
         "\nall-flight three-leg journeys starting at hour 6: {} results",
-        out.stats.output_rows
+        out.stats().output_rows
     );
 
     // Journeys that also move *backwards* in time ("which earlier departures would
     // have made this connection?") are expressible too, something T-GQL's consecutive
     // paths cannot state.
     let backwards = "MATCH (a:City)-/FWD/:flight/FWD/PREV*/FWD/:train/FWD/-(b:City) ON travel";
-    let out = tpath::engine::execute_text(backwards, &graph, &options).unwrap();
+    let out = Query::parse(backwards).unwrap().with_options(options).run(&graph);
     println!(
         "journeys combining a flight with an earlier train connection: {} results",
-        out.stats.output_rows
+        out.stats().output_rows
     );
 }

@@ -16,19 +16,18 @@
 //!   graphs of the experimental evaluation (bulk and streamed).
 //!
 //! ```
-//! use tpath::engine::{ExecutionOptions, GraphRelations};
+//! use tpath::engine::{GraphRelations, Query};
 //! use tpath::workload::figure1;
 //!
 //! // Who is at risk? High-risk people who met someone who later tested positive.
 //! let graph = GraphRelations::from_itpg(&figure1());
-//! let out = tpath::engine::execute_text(
+//! let answers = Query::parse(
 //!     "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) \
 //!      ON contact_tracing",
-//!     &graph,
-//!     &ExecutionOptions::default(),
 //! )
-//! .unwrap();
-//! assert_eq!(out.stats.output_rows, 3);
+//! .unwrap()
+//! .run(&graph);
+//! assert_eq!(answers.stats().output_rows, 3);
 //! ```
 
 pub use dataflow;

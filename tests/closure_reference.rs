@@ -134,11 +134,14 @@ fn engine_pairs(
     query: &str,
     strategy: JoinStrategy,
 ) -> BTreeSet<(TemporalObject, TemporalObject)> {
-    let out =
-        engine::execute_text(query, graph, &ExecutionOptions::sequential().with_strategy(strategy))
-            .expect("closure queries compile onto the engine");
+    let out = engine::Query::parse(query)
+        .expect("closure queries compile onto the engine")
+        .with_options(ExecutionOptions::sequential().with_strategy(strategy))
+        .run(graph)
+        .into_output()
+        .expect("the default mode materialises");
     let mut pairs = BTreeSet::new();
-    for row in &out.table.rows {
+    for row in out.table.rows() {
         let (x, y) = (&row[0], &row[1]);
         match (x.time, y.time) {
             (TimeRef::Interval(ix), TimeRef::Interval(iy)) => {

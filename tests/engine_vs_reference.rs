@@ -12,11 +12,21 @@ use trpq::queries::QueryId;
 use trpq::rewrite::rewrite_match;
 use workload::{figure1, ContactTracingConfig};
 
+/// Runs a benchmark query through the `Query` builder, materialised.
+fn run_query(
+    id: QueryId,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> engine::QueryOutput {
+    let answers = engine::Query::benchmark(id).with_options(*options).run(graph);
+    answers.into_output().expect("the default mode materialises")
+}
+
 /// The engine's first-variable bindings, expanded to `(object, time)` points.
 fn engine_sources(graph: &GraphRelations, id: QueryId) -> BTreeSet<TemporalObject> {
-    let out = engine::execute_query(id, graph, &ExecutionOptions::sequential());
+    let out = run_query(id, graph, &ExecutionOptions::sequential());
     let mut set = BTreeSet::new();
-    for row in &out.table.rows {
+    for row in out.table.rows() {
         let first = &row[0];
         match first.time {
             TimeRef::Point(t) => {
@@ -84,9 +94,9 @@ fn engine_pairs_match_reference_pairs_for_two_variable_queries() {
         let reference: BTreeSet<(TemporalObject, TemporalObject)> =
             eval_path(&rewritten.path, &tpg).iter().map(|q| (q.src, q.dst)).collect();
 
-        let out = engine::execute_query(id, &relations, &ExecutionOptions::sequential());
+        let out = run_query(id, &relations, &ExecutionOptions::sequential());
         let mut engine_pairs = BTreeSet::new();
-        for row in &out.table.rows {
+        for row in out.table.rows() {
             let first = &row[0];
             let last = &row[row.len() - 1];
             match (first.time, last.time) {
@@ -117,8 +127,8 @@ fn parallel_and_sequential_execution_agree_on_synthetic_data() {
     let config = ContactTracingConfig::with_persons(200).with_seed(77).with_positivity_rate(0.1);
     let graph = GraphRelations::from_itpg(&workload::generate(&config));
     for id in QueryId::ALL {
-        let seq = engine::execute_query(id, &graph, &ExecutionOptions::sequential());
-        let par = engine::execute_query(id, &graph, &ExecutionOptions::with_threads(8));
+        let seq = run_query(id, &graph, &ExecutionOptions::sequential());
+        let par = run_query(id, &graph, &ExecutionOptions::with_threads(8));
         assert_eq!(seq.table, par.table, "{}", id.name());
     }
 }
@@ -130,7 +140,7 @@ fn all_join_strategies_agree_on_synthetic_data() {
     let config = ContactTracingConfig::with_persons(150).with_seed(41).with_positivity_rate(0.15);
     let graph = GraphRelations::from_itpg(&workload::generate(&config));
     for id in QueryId::ALL {
-        let reference = engine::execute_query(
+        let reference = run_query(
             id,
             &graph,
             &ExecutionOptions::sequential().with_strategy(JoinStrategy::Hash),
@@ -140,7 +150,7 @@ fn all_join_strategies_agree_on_synthetic_data() {
                 ExecutionOptions::sequential().with_strategy(strategy),
                 ExecutionOptions::with_threads(4).with_strategy(strategy),
             ] {
-                let alt = engine::execute_query(id, &graph, &options);
+                let alt = run_query(id, &graph, &options);
                 assert_eq!(
                     reference.table,
                     alt.table,

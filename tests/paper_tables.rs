@@ -11,11 +11,20 @@ fn graph() -> GraphRelations {
 }
 
 fn run(id: QueryId, graph: &GraphRelations) -> QueryOutput {
-    engine::execute_query(id, graph, &ExecutionOptions::sequential())
+    engine::Query::benchmark(id)
+        .with_options(ExecutionOptions::sequential())
+        .run(graph)
+        .into_output()
+        .expect("the default mode materialises")
 }
 
 fn run_text(text: &str, graph: &GraphRelations) -> QueryOutput {
-    engine::execute_text(text, graph, &ExecutionOptions::sequential()).expect("query runs")
+    engine::Query::parse(text)
+        .expect("query runs")
+        .with_options(ExecutionOptions::sequential())
+        .run(graph)
+        .into_output()
+        .expect("the default mode materialises")
 }
 
 /// Renders the binding table as rows of `(name, time)` strings for easy comparison
@@ -28,7 +37,7 @@ fn point_rows(graph: &GraphRelations, output: &QueryOutput) -> Vec<Vec<(String, 
     // Expands interval rows into point rows (snapshot interpretation) so that the
     // result can be compared against the point-based tables of Section IV.
     let mut out = Vec::new();
-    for row in &output.table.rows {
+    for row in output.table.rows() {
         match row.first().map(|b| b.time) {
             Some(TimeRef::Interval(iv)) => {
                 for t in iv.points() {
@@ -204,7 +213,7 @@ fn q10_requires_the_positive_test_before_the_meeting() {
     let q10 = run(QueryId::Q10, &g);
     assert!(q10.table.is_empty());
     let q9 = run(QueryId::Q9, &g);
-    assert!(q10.table.rows.iter().all(|r| q9.table.rows.contains(r)));
+    assert!(q10.table.iter().all(|r| q9.table.rows().contains(r)));
 }
 
 #[test]
@@ -292,16 +301,12 @@ fn queries_without_temporal_navigation_have_equal_interval_and_total_work() {
         let out = run(id, &g);
         // Interval rows equal output rows: nothing is expanded.
         assert_eq!(out.stats.interval_rows, out.stats.output_rows, "{}", id.name());
-        assert!(out
-            .table
-            .rows
-            .iter()
-            .all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Interval(_)))));
+        assert!(out.table.iter().all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Interval(_)))));
     }
     for id in [QueryId::Q6, QueryId::Q7, QueryId::Q8, QueryId::Q9, QueryId::Q11, QueryId::Q12] {
         let out = run(id, &g);
         assert!(
-            out.table.rows.iter().all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Point(_)))),
+            out.table.iter().all(|r| r.iter().all(|b| matches!(b.time, TimeRef::Point(_)))),
             "{}",
             id.name()
         );

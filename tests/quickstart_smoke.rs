@@ -30,6 +30,16 @@ fn quickstart_example_runs_and_answers_figure1() {
 }
 
 #[test]
+fn paging_example_serves_lazy_and_compact_answers() {
+    // The paging example pulls one page through the enumeration cursor and then
+    // prints the compact per-pair interval answers of the same query.
+    let stdout = run_example("paging");
+    assert!(stdout.contains("first 5 answers"), "unexpected paging output:\n{stdout}");
+    assert!(stdout.contains("rows yielded: 5"), "the cursor must stop at one page:\n{stdout}");
+    assert!(stdout.contains("compact answers ("), "compact answers missing:\n{stdout}");
+}
+
+#[test]
 fn live_tracing_example_streams_figure1() {
     // The live example streams the same story and must converge to the same
     // three bindings once the positive test arrives.
