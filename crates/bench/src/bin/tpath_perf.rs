@@ -5,7 +5,12 @@
 //! run appends a point to the repository's perf trajectory.  The hash and merge join
 //! strategies must produce identical output cardinalities on every workload; the
 //! binary exits non-zero if they disagree, which is what the CI `perf-smoke` job
-//! asserts.
+//! asserts.  Alongside the batch matrix it measures the LIVE matrix (incremental
+//! refresh vs from-scratch recompute over a batch stream), the ANSWERS matrix
+//! (first-page latency and peak answer memory across the three answer modes) and
+//! the SERVE matrix (multi-reader throughput of the MVCC serving stack at 1/2/4
+//! workers, every response verified against a full execute pinned to its epoch,
+//! writer never starved).
 //!
 //! ```text
 //! cargo run --release -p bench --bin tpath-perf -- [--smoke] [--label NAME] [--out DIR]
@@ -23,15 +28,18 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use std::time::Instant;
 
 use bench::json::Json;
 use engine::{
-    AnswerMode, Binding, CompactAnswers, ExecutionOptions, GraphRelations, JoinStrategy, PlanSet,
-    Query,
+    execute, execute_answers, AnswerMode, Binding, CompactAnswers, ExecutionOptions,
+    GraphRelations, JoinStrategy, PlanSet, Query,
 };
+use live::serve::{Request, ServeGraph, Server};
 use live::LiveGraph;
 use tgraph::{Interval, Itpg, Object};
 use trpq::parser::MatchClause;
@@ -320,6 +328,131 @@ fn run_live_matrix(config: &ContactTracingConfig) -> (f64, f64, usize, usize, Ve
     (ingest_seconds, rebuild_seconds_total, batches.len(), mutations, cells)
 }
 
+/// One measured cell of the SERVE matrix: the full batch stream ingested by a
+/// single writer while `readers` worker threads (fed by as many client
+/// threads) serve registered reads and ad-hoc executions in all three answer
+/// modes against pinned MVCC snapshots.
+struct ServeCell {
+    readers: usize,
+    requests: usize,
+    serve_seconds: f64,
+    writer_seconds: f64,
+    writer_batches: usize,
+    writer_batches_expected: usize,
+    mutations: usize,
+    epochs_published: u64,
+    epochs_retired: u64,
+    /// Every response's snapshot read equalled a full execute pinned to the
+    /// response's own epoch.
+    agree: bool,
+}
+
+/// Runs one scale's stream through the MVCC serving stack at each reader
+/// count.  Clients keep submitting until the writer has ingested the whole
+/// stream, and every response is verified against a from-scratch `execute` on
+/// the relations of the epoch that response pinned — the "snapshot read ≡
+/// epoch-pinned full execute" invariant the perf-smoke validator asserts.
+fn run_serve_matrix(
+    config: &ContactTracingConfig,
+    strategy: JoinStrategy,
+    reader_counts: &[usize],
+) -> Vec<ServeCell> {
+    let batches = workload::stream_contact_batches(config);
+    let mutations = workload::mutation_count(&batches);
+    let options = ExecutionOptions::with_threads(1).with_strategy(strategy);
+    let queries = live_queries();
+    let mut cells = Vec::new();
+    for &readers in reader_counts {
+        let graph = Arc::new(ServeGraph::with_options(Itpg::empty(Interval::of(0, 1)), options));
+        let ids: Vec<_> = queries.iter().map(|(_, plan)| graph.register(plan.clone())).collect();
+        let plans: Vec<Arc<PlanSet>> =
+            queries.iter().map(|(_, plan)| Arc::new(plan.clone())).collect();
+        let server = Server::start(Arc::clone(&graph), readers);
+        let done = AtomicBool::new(false);
+        let agree = AtomicBool::new(true);
+        let requests = AtomicUsize::new(0);
+        let mut writer_seconds = 0.0f64;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for reader in 0..readers {
+                let (server, done, agree, requests) = (&server, &done, &agree, &requests);
+                let (plans, ids) = (&plans, &ids);
+                scope.spawn(move || {
+                    let modes =
+                        [AnswerMode::Materialized, AnswerMode::Compact, AnswerMode::Enumerate];
+                    let mut round = 0usize;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let index = (reader + round) % plans.len();
+                        let mode = modes[round % modes.len()];
+                        let maintained =
+                            server.submit(Request::Registered(ids[index])).wait().unwrap();
+                        let expected =
+                            execute(&plans[index], maintained.epoch.relations(), &options);
+                        if maintained.answer.rows().unwrap() != &expected.table {
+                            agree.store(false, Ordering::Relaxed);
+                        }
+                        let adhoc = server
+                            .submit(Request::Compiled { plan: Arc::clone(&plans[index]), mode })
+                            .wait()
+                            .unwrap();
+                        let ok = match mode {
+                            AnswerMode::Materialized | AnswerMode::Enumerate => {
+                                let expected =
+                                    execute(&plans[index], adhoc.epoch.relations(), &options);
+                                adhoc.answer.rows().unwrap() == &expected.table
+                            }
+                            AnswerMode::Compact => {
+                                let expected = execute_answers(
+                                    &plans[index],
+                                    adhoc.epoch.relations(),
+                                    &options.with_mode(mode),
+                                )
+                                .into_compact()
+                                .expect("compact answers");
+                                adhoc.answer.compact().unwrap() == &expected
+                            }
+                        };
+                        if !ok {
+                            agree.store(false, Ordering::Relaxed);
+                        }
+                        requests.fetch_add(2, Ordering::Relaxed);
+                        round += 1;
+                        if finished {
+                            break;
+                        }
+                    }
+                });
+            }
+            // The single writer: ingest the whole stream while the clients
+            // hammer the pool.  The never-starved invariant is that every
+            // batch lands regardless of reader pressure.
+            for batch in &batches {
+                let ingest_start = Instant::now();
+                graph.ingest(batch).expect("streamed batches are valid against their prefix");
+                writer_seconds += ingest_start.elapsed().as_secs_f64();
+            }
+            done.store(true, Ordering::Release);
+        });
+        let serve_seconds = start.elapsed().as_secs_f64();
+        let stats = graph.stats();
+        server.shutdown();
+        cells.push(ServeCell {
+            readers,
+            requests: requests.load(Ordering::Relaxed),
+            serve_seconds,
+            writer_seconds,
+            writer_batches: graph.batches_applied(),
+            writer_batches_expected: batches.len(),
+            mutations,
+            epochs_published: stats.published,
+            epochs_retired: stats.retired,
+            agree: agree.load(Ordering::Relaxed),
+        });
+    }
+    cells
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -485,6 +618,66 @@ fn main() -> ExitCode {
         }
     }
 
+    // The SERVE matrix: the MVCC serving stack under concurrent load — one
+    // writer streaming the scale's batches while 1/2/4 worker threads serve
+    // registered and ad-hoc reads (all answer modes) from pinned snapshots.
+    let serve_strategy = bench::join_strategy();
+    let reader_counts = [1usize, 2, 4];
+    let mut serve_entries: Vec<Json> = Vec::new();
+    let mut serve_disagreements = 0usize;
+    let mut writer_starvations = 0usize;
+    for (scale_name, config) in &scales {
+        for cell in run_serve_matrix(config, serve_strategy, &reader_counts) {
+            let throughput = cell.requests as f64 / cell.serve_seconds.max(f64::EPSILON);
+            println!(
+                "SERVE {scale_name} {} readers={}: {} requests in {:.4}s ({:.0} q/s), \
+                 writer {}/{} batches in {:.4}s, {} epochs published / {} retired, agree={}",
+                serve_strategy,
+                cell.readers,
+                cell.requests,
+                cell.serve_seconds,
+                throughput,
+                cell.writer_batches,
+                cell.writer_batches_expected,
+                cell.writer_seconds,
+                cell.epochs_published,
+                cell.epochs_retired,
+                cell.agree
+            );
+            if !cell.agree {
+                eprintln!(
+                    "tpath-perf: SERVE {scale_name}/readers={}: a snapshot read diverged \
+                     from the epoch-pinned full execute",
+                    cell.readers
+                );
+                serve_disagreements += 1;
+            }
+            if cell.writer_batches != cell.writer_batches_expected {
+                eprintln!(
+                    "tpath-perf: SERVE {scale_name}/readers={}: the writer applied {}/{} \
+                     batches — starved by readers",
+                    cell.readers, cell.writer_batches, cell.writer_batches_expected
+                );
+                writer_starvations += 1;
+            }
+            serve_entries.push(Json::obj([
+                ("scale", Json::str(scale_name.clone())),
+                ("strategy", Json::str(serve_strategy.name())),
+                ("readers", Json::UInt(cell.readers as u64)),
+                ("requests", Json::UInt(cell.requests as u64)),
+                ("serve_seconds", Json::Float(cell.serve_seconds)),
+                ("throughput_qps", Json::Float(throughput)),
+                ("writer_seconds", Json::Float(cell.writer_seconds)),
+                ("writer_batches", Json::UInt(cell.writer_batches as u64)),
+                ("writer_batches_expected", Json::UInt(cell.writer_batches_expected as u64)),
+                ("mutations", Json::UInt(cell.mutations as u64)),
+                ("epochs_published", Json::UInt(cell.epochs_published)),
+                ("epochs_retired", Json::UInt(cell.epochs_retired)),
+                ("agree", Json::Bool(cell.agree)),
+            ]));
+        }
+    }
+
     let mut disagreements = 0usize;
     for ((scale, query, threads), counts) in &row_counts {
         let reference = counts[0].1;
@@ -505,7 +698,7 @@ fn main() -> ExitCode {
         .map(|d| Json::UInt(d.as_secs()))
         .unwrap_or(Json::Null);
     let report = Json::obj([
-        ("schema_version", Json::UInt(3)),
+        ("schema_version", Json::UInt(4)),
         ("label", Json::str(args.label.clone())),
         ("created_unix", created_unix),
         ("smoke", Json::Bool(args.smoke)),
@@ -526,10 +719,13 @@ fn main() -> ExitCode {
         ("strategies_agree", Json::Bool(disagreements == 0)),
         ("live_agrees", Json::Bool(live_disagreements == 0)),
         ("answer_modes_agree", Json::Bool(answer_disagreements == 0)),
+        ("serve_agrees", Json::Bool(serve_disagreements == 0)),
+        ("writer_never_starved", Json::Bool(writer_starvations == 0)),
         ("peak_rss_bytes", bench::peak_rss_bytes().map(Json::UInt).unwrap_or(Json::Null)),
         ("workloads", Json::Arr(workloads)),
         ("live", Json::Arr(live_entries)),
         ("answers", Json::Arr(answers_entries)),
+        ("serve", Json::Arr(serve_entries)),
     ]);
 
     let path = format!("{}/BENCH_{}.json", args.out_dir.trim_end_matches('/'), args.label);
@@ -549,6 +745,14 @@ fn main() -> ExitCode {
     }
     if answer_disagreements > 0 {
         eprintln!("tpath-perf: FAILED — {answer_disagreements} answer-mode disagreement(s)");
+        return ExitCode::FAILURE;
+    }
+    if serve_disagreements > 0 {
+        eprintln!("tpath-perf: FAILED — {serve_disagreements} snapshot-vs-execute disagreement(s)");
+        return ExitCode::FAILURE;
+    }
+    if writer_starvations > 0 {
+        eprintln!("tpath-perf: FAILED — the writer was starved in {writer_starvations} cell(s)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

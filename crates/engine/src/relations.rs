@@ -111,32 +111,40 @@ pub struct CanonicalRelations {
 
 /// The pair of interval-timestamped relations plus the indexes the engine navigates
 /// with.
+///
+/// Every column is held behind an [`Arc`], which makes the whole structure
+/// **copy-on-write**: [`GraphRelations::snapshot`] (and plain `clone()`) is a
+/// handful of reference-count bumps, and [`GraphRelations::apply_delta`] clones
+/// only the columns it actually writes — and only when a snapshot still shares
+/// them.  This is what makes epoch-based MVCC serving (`crates/live`) cheap: a
+/// reader pins an immutable snapshot while the writer diverges the next epoch
+/// from it, and a batch touching only edges never copies any node column.
 #[derive(Debug, Clone)]
 pub struct GraphRelations {
     domain: Interval,
-    nodes: Vec<NodeRow>,
-    edges: Vec<EdgeRow>,
-    node_names: Vec<String>,
-    edge_names: Vec<String>,
-    node_rows_by_id: Vec<Vec<u32>>,
-    edge_rows_by_id: Vec<Vec<u32>>,
-    edge_rows_by_src: Vec<Vec<u32>>,
-    edge_rows_by_tgt: Vec<Vec<u32>>,
-    node_existence: Vec<IntervalSet>,
-    edge_existence: Vec<IntervalSet>,
+    nodes: Arc<Vec<NodeRow>>,
+    edges: Arc<Vec<EdgeRow>>,
+    node_names: Arc<Vec<String>>,
+    edge_names: Arc<Vec<String>>,
+    node_rows_by_id: Arc<Vec<Vec<u32>>>,
+    edge_rows_by_id: Arc<Vec<Vec<u32>>>,
+    edge_rows_by_src: Arc<Vec<Vec<u32>>>,
+    edge_rows_by_tgt: Arc<Vec<Vec<u32>>>,
+    node_existence: Arc<Vec<IntervalSet>>,
+    edge_existence: Arc<Vec<IntervalSet>>,
     // Key-sorted permutations of the two relations, precomputed at load time so
     // merge joins can scan them without sorting (see the `sorted_*` accessors).
-    node_rows_by_id_sorted: Vec<u32>,
-    edge_rows_by_src_sorted: Vec<u32>,
-    edge_rows_by_tgt_sorted: Vec<u32>,
+    node_rows_by_id_sorted: Arc<Vec<u32>>,
+    edge_rows_by_src_sorted: Arc<Vec<u32>>,
+    edge_rows_by_tgt_sorted: Arc<Vec<u32>>,
     // Liveness of every row.  `from_itpg` produces all-live relations;
     // `apply_delta` tombstones the rows of touched objects instead of compacting
     // the row vectors, so row indices of *untouched* objects stay stable (which is
     // what lets live query maintenance reuse cached results).  Tombstoned rows are
     // unreachable through every index and permutation; only direct slice access
     // (`node_rows()` / `edge_rows()`) can still observe them.
-    node_row_live: Vec<bool>,
-    edge_row_live: Vec<bool>,
+    node_row_live: Arc<Vec<bool>>,
+    edge_row_live: Arc<Vec<bool>>,
     dead_node_rows: usize,
     dead_edge_rows: usize,
 }
@@ -212,24 +220,61 @@ impl GraphRelations {
         let edge_row_live = vec![true; edges.len()];
         GraphRelations {
             domain: graph.domain(),
-            nodes,
-            edges,
-            node_names,
-            edge_names,
-            node_rows_by_id,
-            edge_rows_by_id,
-            edge_rows_by_src,
-            edge_rows_by_tgt,
-            node_existence,
-            edge_existence,
-            node_rows_by_id_sorted,
-            edge_rows_by_src_sorted,
-            edge_rows_by_tgt_sorted,
-            node_row_live,
-            edge_row_live,
+            nodes: Arc::new(nodes),
+            edges: Arc::new(edges),
+            node_names: Arc::new(node_names),
+            edge_names: Arc::new(edge_names),
+            node_rows_by_id: Arc::new(node_rows_by_id),
+            edge_rows_by_id: Arc::new(edge_rows_by_id),
+            edge_rows_by_src: Arc::new(edge_rows_by_src),
+            edge_rows_by_tgt: Arc::new(edge_rows_by_tgt),
+            node_existence: Arc::new(node_existence),
+            edge_existence: Arc::new(edge_existence),
+            node_rows_by_id_sorted: Arc::new(node_rows_by_id_sorted),
+            edge_rows_by_src_sorted: Arc::new(edge_rows_by_src_sorted),
+            edge_rows_by_tgt_sorted: Arc::new(edge_rows_by_tgt_sorted),
+            node_row_live: Arc::new(node_row_live),
+            edge_row_live: Arc::new(edge_row_live),
             dead_node_rows: 0,
             dead_edge_rows: 0,
         }
+    }
+
+    /// An immutable copy-on-write snapshot of the relations: the returned value
+    /// shares every column with `self` until one of the two diverges through
+    /// [`GraphRelations::apply_delta`].  Taking a snapshot is O(number of
+    /// columns), not O(graph); this is the read view MVCC epochs in
+    /// `crates/live` hand to concurrent readers.
+    pub fn snapshot(&self) -> GraphRelations {
+        self.clone()
+    }
+
+    /// The number of physical columns `self` still shares with `other` — a
+    /// diagnostic for copy-on-write behaviour (15 right after
+    /// [`GraphRelations::snapshot`], decreasing only as deltas diverge the
+    /// copies column by column).
+    pub fn shared_columns(&self, other: &GraphRelations) -> usize {
+        usize::from(Arc::ptr_eq(&self.nodes, &other.nodes))
+            + usize::from(Arc::ptr_eq(&self.edges, &other.edges))
+            + usize::from(Arc::ptr_eq(&self.node_names, &other.node_names))
+            + usize::from(Arc::ptr_eq(&self.edge_names, &other.edge_names))
+            + usize::from(Arc::ptr_eq(&self.node_rows_by_id, &other.node_rows_by_id))
+            + usize::from(Arc::ptr_eq(&self.edge_rows_by_id, &other.edge_rows_by_id))
+            + usize::from(Arc::ptr_eq(&self.edge_rows_by_src, &other.edge_rows_by_src))
+            + usize::from(Arc::ptr_eq(&self.edge_rows_by_tgt, &other.edge_rows_by_tgt))
+            + usize::from(Arc::ptr_eq(&self.node_existence, &other.node_existence))
+            + usize::from(Arc::ptr_eq(&self.edge_existence, &other.edge_existence))
+            + usize::from(Arc::ptr_eq(&self.node_rows_by_id_sorted, &other.node_rows_by_id_sorted))
+            + usize::from(Arc::ptr_eq(
+                &self.edge_rows_by_src_sorted,
+                &other.edge_rows_by_src_sorted,
+            ))
+            + usize::from(Arc::ptr_eq(
+                &self.edge_rows_by_tgt_sorted,
+                &other.edge_rows_by_tgt_sorted,
+            ))
+            + usize::from(Arc::ptr_eq(&self.node_row_live, &other.node_row_live))
+            + usize::from(Arc::ptr_eq(&self.edge_row_live, &other.edge_row_live))
     }
 
     /// Applies one batch worth of changes to the relations *in place*, given the
@@ -251,18 +296,42 @@ impl GraphRelations {
         let mut stats = DeltaStats::default();
         self.domain = graph.domain();
 
+        // The columns are copy-on-write (see the struct docs): every write below
+        // goes through `Arc::make_mut`, which is a no-op while the column is
+        // uniquely owned and clones it exactly once when a pinned snapshot still
+        // shares it.  The delta is applied in two passes — nodes, then edges — so
+        // a batch touching only one relation never copies the other's columns.
+        // The two relations append to disjoint row vectors, so the pass order
+        // does not change any row index.
+        let touched_nodes: Vec<NodeId> =
+            touched.iter().copied().filter_map(Object::as_node).collect();
+        let touched_edges: Vec<EdgeId> =
+            touched.iter().copied().filter_map(Object::as_edge).collect();
+
         // Extend the per-object tables for objects created since the last delta.
-        for index in self.node_names.len()..graph.num_nodes() {
-            self.node_names.push(graph.name(Object::Node(NodeId(index as u32))).to_owned());
-            self.node_existence.push(IntervalSet::empty());
-            self.node_rows_by_id.push(Vec::new());
-            self.edge_rows_by_src.push(Vec::new());
-            self.edge_rows_by_tgt.push(Vec::new());
+        if graph.num_nodes() > self.node_names.len() {
+            let node_names = Arc::make_mut(&mut self.node_names);
+            let node_existence = Arc::make_mut(&mut self.node_existence);
+            let node_rows_by_id = Arc::make_mut(&mut self.node_rows_by_id);
+            let edge_rows_by_src = Arc::make_mut(&mut self.edge_rows_by_src);
+            let edge_rows_by_tgt = Arc::make_mut(&mut self.edge_rows_by_tgt);
+            for index in node_names.len()..graph.num_nodes() {
+                node_names.push(graph.name(Object::Node(NodeId(index as u32))).to_owned());
+                node_existence.push(IntervalSet::empty());
+                node_rows_by_id.push(Vec::new());
+                edge_rows_by_src.push(Vec::new());
+                edge_rows_by_tgt.push(Vec::new());
+            }
         }
-        for index in self.edge_names.len()..graph.num_edges() {
-            self.edge_names.push(graph.name(Object::Edge(EdgeId(index as u32))).to_owned());
-            self.edge_existence.push(IntervalSet::empty());
-            self.edge_rows_by_id.push(Vec::new());
+        if graph.num_edges() > self.edge_names.len() {
+            let edge_names = Arc::make_mut(&mut self.edge_names);
+            let edge_existence = Arc::make_mut(&mut self.edge_existence);
+            let edge_rows_by_id = Arc::make_mut(&mut self.edge_rows_by_id);
+            for index in edge_names.len()..graph.num_edges() {
+                edge_names.push(graph.name(Object::Edge(EdgeId(index as u32))).to_owned());
+                edge_existence.push(IntervalSet::empty());
+                edge_rows_by_id.push(Vec::new());
+            }
         }
 
         let mut label_cache: HashMap<String, Arc<str>> = HashMap::new();
@@ -272,105 +341,113 @@ impl GraphRelations {
         let mut new_by_src: Vec<(usize, Interval, u32)> = Vec::new();
         let mut new_by_tgt: Vec<(usize, Interval, u32)> = Vec::new();
 
-        for &object in touched {
-            match object {
-                Object::Node(n) => {
-                    for &row in &self.node_rows_by_id[n.index()] {
-                        debug_assert!(self.node_row_live[row as usize]);
-                        self.node_row_live[row as usize] = false;
-                        self.dead_node_rows += 1;
-                        stats.node_rows_retracted += 1;
-                    }
-                    self.node_rows_by_id[n.index()].clear();
-                    self.node_existence[n.index()] = graph.existence(object).clone();
-                    let label = label_cache
-                        .entry(graph.label(object).to_owned())
-                        .or_insert_with(|| Arc::from(graph.label(object)))
-                        .clone();
-                    for segment in object_segments(graph, object) {
-                        let props = props_at(graph, object, segment.start(), &mut |s| {
-                            prop_name_cache
-                                .entry(s.to_owned())
-                                .or_insert_with(|| Arc::from(s))
-                                .clone()
-                        });
-                        let row = self.nodes.len() as u32;
-                        self.node_rows_by_id[n.index()].push(row);
-                        new_by_node.push((n.index(), segment, row));
-                        self.nodes.push(NodeRow {
-                            node: n,
-                            label: label.clone(),
-                            props,
-                            interval: segment,
-                        });
-                        self.node_row_live.push(true);
-                        stats.node_rows_added += 1;
-                    }
+        if !touched_nodes.is_empty() {
+            let nodes = Arc::make_mut(&mut self.nodes);
+            let node_rows_by_id = Arc::make_mut(&mut self.node_rows_by_id);
+            let node_existence = Arc::make_mut(&mut self.node_existence);
+            let node_row_live = Arc::make_mut(&mut self.node_row_live);
+            for &n in &touched_nodes {
+                let object = Object::Node(n);
+                for &row in &node_rows_by_id[n.index()] {
+                    debug_assert!(node_row_live[row as usize]);
+                    node_row_live[row as usize] = false;
+                    self.dead_node_rows += 1;
+                    stats.node_rows_retracted += 1;
                 }
-                Object::Edge(e) => {
-                    let (src, tgt) = (graph.src(e), graph.tgt(e));
-                    let old_rows = std::mem::take(&mut self.edge_rows_by_id[e.index()]);
-                    for &row in &old_rows {
-                        debug_assert!(self.edge_row_live[row as usize]);
-                        self.edge_row_live[row as usize] = false;
-                        self.dead_edge_rows += 1;
-                        stats.edge_rows_retracted += 1;
-                    }
-                    self.edge_rows_by_src[src.index()].retain(|r| !old_rows.contains(r));
-                    self.edge_rows_by_tgt[tgt.index()].retain(|r| !old_rows.contains(r));
-                    self.edge_existence[e.index()] = graph.existence(object).clone();
-                    let label = label_cache
-                        .entry(graph.label(object).to_owned())
-                        .or_insert_with(|| Arc::from(graph.label(object)))
-                        .clone();
-                    for segment in object_segments(graph, object) {
-                        let props = props_at(graph, object, segment.start(), &mut |s| {
-                            prop_name_cache
-                                .entry(s.to_owned())
-                                .or_insert_with(|| Arc::from(s))
-                                .clone()
-                        });
-                        let row = self.edges.len() as u32;
-                        self.edge_rows_by_id[e.index()].push(row);
-                        self.edge_rows_by_src[src.index()].push(row);
-                        self.edge_rows_by_tgt[tgt.index()].push(row);
-                        new_by_src.push((src.index(), segment, row));
-                        new_by_tgt.push((tgt.index(), segment, row));
-                        self.edges.push(EdgeRow {
-                            edge: e,
-                            src,
-                            tgt,
-                            label: label.clone(),
-                            props,
-                            interval: segment,
-                        });
-                        self.edge_row_live.push(true);
-                        stats.edge_rows_added += 1;
-                    }
+                node_rows_by_id[n.index()].clear();
+                node_existence[n.index()] = graph.existence(object).clone();
+                let label = label_cache
+                    .entry(graph.label(object).to_owned())
+                    .or_insert_with(|| Arc::from(graph.label(object)))
+                    .clone();
+                for segment in object_segments(graph, object) {
+                    let props = props_at(graph, object, segment.start(), &mut |s| {
+                        prop_name_cache.entry(s.to_owned()).or_insert_with(|| Arc::from(s)).clone()
+                    });
+                    let row = nodes.len() as u32;
+                    node_rows_by_id[n.index()].push(row);
+                    new_by_node.push((n.index(), segment, row));
+                    nodes.push(NodeRow { node: n, label: label.clone(), props, interval: segment });
+                    node_row_live.push(true);
+                    stats.node_rows_added += 1;
                 }
             }
         }
 
-        let nodes = &self.nodes;
-        let edges = &self.edges;
-        self.node_rows_by_id_sorted = merge_permutation(
-            &self.node_rows_by_id_sorted,
-            &self.node_row_live,
-            new_by_node,
-            |r| (nodes[r as usize].node.index(), nodes[r as usize].interval),
-        );
-        self.edge_rows_by_src_sorted = merge_permutation(
-            &self.edge_rows_by_src_sorted,
-            &self.edge_row_live,
-            new_by_src,
-            |r| (edges[r as usize].src.index(), edges[r as usize].interval),
-        );
-        self.edge_rows_by_tgt_sorted = merge_permutation(
-            &self.edge_rows_by_tgt_sorted,
-            &self.edge_row_live,
-            new_by_tgt,
-            |r| (edges[r as usize].tgt.index(), edges[r as usize].interval),
-        );
+        if !touched_edges.is_empty() {
+            let edges = Arc::make_mut(&mut self.edges);
+            let edge_rows_by_id = Arc::make_mut(&mut self.edge_rows_by_id);
+            let edge_rows_by_src = Arc::make_mut(&mut self.edge_rows_by_src);
+            let edge_rows_by_tgt = Arc::make_mut(&mut self.edge_rows_by_tgt);
+            let edge_existence = Arc::make_mut(&mut self.edge_existence);
+            let edge_row_live = Arc::make_mut(&mut self.edge_row_live);
+            for &e in &touched_edges {
+                let object = Object::Edge(e);
+                let (src, tgt) = (graph.src(e), graph.tgt(e));
+                let old_rows = std::mem::take(&mut edge_rows_by_id[e.index()]);
+                for &row in &old_rows {
+                    debug_assert!(edge_row_live[row as usize]);
+                    edge_row_live[row as usize] = false;
+                    self.dead_edge_rows += 1;
+                    stats.edge_rows_retracted += 1;
+                }
+                edge_rows_by_src[src.index()].retain(|r| !old_rows.contains(r));
+                edge_rows_by_tgt[tgt.index()].retain(|r| !old_rows.contains(r));
+                edge_existence[e.index()] = graph.existence(object).clone();
+                let label = label_cache
+                    .entry(graph.label(object).to_owned())
+                    .or_insert_with(|| Arc::from(graph.label(object)))
+                    .clone();
+                for segment in object_segments(graph, object) {
+                    let props = props_at(graph, object, segment.start(), &mut |s| {
+                        prop_name_cache.entry(s.to_owned()).or_insert_with(|| Arc::from(s)).clone()
+                    });
+                    let row = edges.len() as u32;
+                    edge_rows_by_id[e.index()].push(row);
+                    edge_rows_by_src[src.index()].push(row);
+                    edge_rows_by_tgt[tgt.index()].push(row);
+                    new_by_src.push((src.index(), segment, row));
+                    new_by_tgt.push((tgt.index(), segment, row));
+                    edges.push(EdgeRow {
+                        edge: e,
+                        src,
+                        tgt,
+                        label: label.clone(),
+                        props,
+                        interval: segment,
+                    });
+                    edge_row_live.push(true);
+                    stats.edge_rows_added += 1;
+                }
+            }
+        }
+
+        // The permutations are only rebuilt for the relation that changed, so a
+        // node-only batch leaves both edge permutations shared with snapshots.
+        if stats.node_rows_added + stats.node_rows_retracted > 0 {
+            let nodes = &self.nodes;
+            self.node_rows_by_id_sorted = Arc::new(merge_permutation(
+                &self.node_rows_by_id_sorted,
+                &self.node_row_live,
+                new_by_node,
+                |r| (nodes[r as usize].node.index(), nodes[r as usize].interval),
+            ));
+        }
+        if stats.edge_rows_added + stats.edge_rows_retracted > 0 {
+            let edges = &self.edges;
+            self.edge_rows_by_src_sorted = Arc::new(merge_permutation(
+                &self.edge_rows_by_src_sorted,
+                &self.edge_row_live,
+                new_by_src,
+                |r| (edges[r as usize].src.index(), edges[r as usize].interval),
+            ));
+            self.edge_rows_by_tgt_sorted = Arc::new(merge_permutation(
+                &self.edge_rows_by_tgt_sorted,
+                &self.edge_row_live,
+                new_by_tgt,
+                |r| (edges[r as usize].tgt.index(), edges[r as usize].interval),
+            ));
+        }
         stats
     }
 
@@ -417,7 +494,7 @@ impl GraphRelations {
         let mut nodes: Vec<NodeRow> = self
             .nodes
             .iter()
-            .zip(&self.node_row_live)
+            .zip(self.node_row_live.iter())
             .filter(|(_, &live)| live)
             .map(|(row, _)| row.clone())
             .collect();
@@ -425,7 +502,7 @@ impl GraphRelations {
         let mut edges: Vec<EdgeRow> = self
             .edges
             .iter()
-            .zip(&self.edge_row_live)
+            .zip(self.edge_row_live.iter())
             .filter(|(_, &live)| live)
             .map(|(row, _)| row.clone())
             .collect();
@@ -434,10 +511,10 @@ impl GraphRelations {
             domain: self.domain,
             nodes,
             edges,
-            node_existence: self.node_existence.clone(),
-            edge_existence: self.edge_existence.clone(),
-            node_names: self.node_names.clone(),
-            edge_names: self.edge_names.clone(),
+            node_existence: self.node_existence.as_ref().clone(),
+            edge_existence: self.edge_existence.as_ref().clone(),
+            node_names: self.node_names.as_ref().clone(),
+            edge_names: self.edge_names.as_ref().clone(),
         }
     }
 
@@ -771,6 +848,37 @@ mod tests {
         assert_eq!(rel.node_rows(), bulk.node_rows());
         assert_eq!(rel.edge_rows(), bulk.edge_rows());
         assert_eq!(rel.node_rows_sorted_by_id(), bulk.node_rows_sorted_by_id());
+    }
+
+    #[test]
+    fn snapshots_are_copy_on_write() {
+        let mut itpg = sample();
+        let mut rel = GraphRelations::from_itpg(&itpg);
+        let pinned = rel.snapshot();
+        assert_eq!(pinned.shared_columns(&rel), 15, "a fresh snapshot shares every column");
+
+        // An edge-only batch must not copy any node column: the writer diverges
+        // the edge storage while the snapshot keeps the old version.
+        let before = rel.canonical_snapshot();
+        let mut batch = tgraph::Batch::new(1);
+        batch.add_existence("e1", iv(7, 8));
+        let applied = itpg.apply_batch(&batch).unwrap();
+        rel.apply_delta(&itpg, &applied.touched);
+
+        let shared = pinned.shared_columns(&rel);
+        assert!(shared < 15, "the edge columns must have diverged");
+        assert!(shared >= 6, "the six node columns (and edge names) must still be shared");
+        // The pinned snapshot is immutable: it still shows the pre-batch state,
+        // while the live relations show the post-batch state.
+        assert_eq!(pinned.canonical_snapshot(), before);
+        assert_eq!(rel.canonical_snapshot(), GraphRelations::from_itpg(&itpg).canonical_snapshot());
+        assert_ne!(pinned.canonical_snapshot(), rel.canonical_snapshot());
+
+        // Dropping the snapshot and applying another delta writes in place again
+        // (unique ownership — no second copy), and a fresh snapshot re-shares.
+        drop(pinned);
+        let again = rel.snapshot();
+        assert_eq!(again.shared_columns(&rel), 15);
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum LiveError {
         /// The offending epoch.
         got: u64,
     },
+    /// A serve request referenced a registered query the pinned epoch does not
+    /// know about (the id was never issued, or the query was registered after
+    /// the epoch was published).
+    UnknownQuery(crate::query::LiveQueryId),
+    /// The query server shut down before producing a response.
+    ServerClosed,
 }
 
 impl fmt::Display for LiveError {
@@ -29,6 +35,10 @@ impl fmt::Display for LiveError {
             LiveError::NonMonotonicEpoch { last, got } => {
                 write!(f, "batch epoch {got} is not greater than the last applied epoch {last}")
             }
+            LiveError::UnknownQuery(id) => {
+                write!(f, "no registered query {id:?} in the pinned epoch")
+            }
+            LiveError::ServerClosed => write!(f, "the query server shut down before responding"),
         }
     }
 }
@@ -38,7 +48,9 @@ impl std::error::Error for LiveError {
         match self {
             LiveError::Graph(e) => Some(e),
             LiveError::Query(e) => Some(e),
-            LiveError::NonMonotonicEpoch { .. } => None,
+            LiveError::NonMonotonicEpoch { .. }
+            | LiveError::UnknownQuery(_)
+            | LiveError::ServerClosed => None,
         }
     }
 }

@@ -172,6 +172,20 @@ impl LiveGraph {
         self.queries.len()
     }
 
+    /// The compiled plan set of a registered query — what a from-scratch
+    /// re-execution of the maintained answer runs.
+    pub fn plan_set(&self, id: LiveQueryId) -> &PlanSet {
+        self.queries[id.0].plan_set()
+    }
+
+    /// Shared handles to every maintained answer table, in registration order.
+    /// Cloning a handle is O(1); this is what MVCC epoch snapshots retain so
+    /// pinned readers keep the epoch's answers while later refreshes swap in
+    /// new tables.
+    pub fn table_handles(&self) -> Vec<std::sync::Arc<BindingTable>> {
+        self.queries.iter().map(|q| q.table_handle()).collect()
+    }
+
     fn strategy_for(&self, plan_set: &PlanSet) -> JoinStrategy {
         effective_strategy(plan_set, &self.options)
     }

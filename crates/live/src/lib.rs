@@ -27,6 +27,13 @@
 //!    every seed on refresh.  The refresh reports this honestly through
 //!    [`RefreshStats::fallback_full`]; the answer is exact either way.
 //!
+//! On top of the single-threaded [`LiveGraph`], the crate serves queries
+//! *concurrently* through epoch-based MVCC ([`epoch`]): each published epoch
+//! is an immutable copy-on-write snapshot that readers pin and the writer
+//! never waits for, and a [`serve::Server`] worker pool executes registered
+//! and ad-hoc queries against pinned snapshots while a single writer ingests
+//! batches ([`serve::ServeGraph`]).
+//!
 //! ```
 //! use live::LiveGraph;
 //! use tgraph::{Batch, Interval};
@@ -51,11 +58,15 @@
 
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod error;
 pub mod graph;
 pub mod query;
+pub mod serve;
 
+pub use epoch::{EpochManager, EpochSnapshot, EpochStats, PinnedEpoch};
 pub use error::LiveError;
 pub use graph::{IngestStats, LiveGraph};
 pub use query::{LiveQueryId, RefreshStats};
+pub use serve::{IngestReport, Request, Response, ServeAnswer, ServeGraph, Server, Ticket};
 pub use tgraph::{AppliedBatch, Batch, Mutation};

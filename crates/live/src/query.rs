@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 use dataflow::Parallelism;
@@ -58,11 +59,16 @@ struct PlanCache {
 }
 
 /// A registered query: its compiled plan set plus the maintained answer.
+///
+/// The answer table lives behind an [`Arc`] so MVCC snapshots
+/// ([`crate::epoch::EpochSnapshot`]) can retain the epoch's answer without
+/// copying rows: a refresh builds the next table and swaps the handle, leaving
+/// pinned readers on the old one.
 #[derive(Debug, Clone)]
 pub(crate) struct QueryState {
     plan_set: PlanSet,
     plans: Vec<PlanCache>,
-    table: BindingTable,
+    table: Arc<BindingTable>,
     /// Objects touched by batches applied since the last refresh.
     pending: BTreeSet<Object>,
 }
@@ -102,10 +108,10 @@ impl QueryState {
         let mut state = QueryState {
             plan_set,
             plans,
-            table: BindingTable::default(),
+            table: Arc::new(BindingTable::default()),
             pending: BTreeSet::new(),
         };
-        state.table = state.assemble();
+        state.table = Arc::new(state.assemble());
         state
     }
 
@@ -115,6 +121,12 @@ impl QueryState {
 
     pub(crate) fn table(&self) -> &BindingTable {
         &self.table
+    }
+
+    /// A shared handle to the maintained answer as of the last refresh —
+    /// what epoch snapshots retain.
+    pub(crate) fn table_handle(&self) -> Arc<BindingTable> {
+        Arc::clone(&self.table)
     }
 
     pub(crate) fn note_touched(&mut self, touched: &[Object]) {
@@ -191,7 +203,7 @@ impl QueryState {
         stats.output_rows = next.len();
         stats.closure_rounds = step_stats.closure_rounds.load(Ordering::Relaxed);
         stats.time_rounds = step_stats.time_closure_rounds.load(Ordering::Relaxed);
-        self.table = next;
+        self.table = Arc::new(next);
         stats.duration = started.elapsed();
         stats
     }

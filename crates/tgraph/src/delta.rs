@@ -99,6 +99,11 @@ impl Batch {
         self.mutations.is_empty()
     }
 
+    /// The number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.mutations.len()
+    }
+
     /// Appends an [`Mutation::AddNode`].
     pub fn add_node(&mut self, name: impl Into<String>, label: impl Into<String>) -> &mut Self {
         self.mutations.push(Mutation::AddNode { name: name.into(), label: label.into() });

@@ -10,8 +10,10 @@
 //! * [`dataflow`] — the interval-relational operators and the chunked parallel
 //!   executor the engine is built on;
 //! * [`engine`] — the interval-based three-step query engine of Section VI;
-//! * [`live`] — live graphs: streaming ingestion of epoched mutation batches and
-//!   incremental maintenance of registered queries;
+//! * [`live`] — live graphs: streaming ingestion of epoched mutation batches,
+//!   incremental maintenance of registered queries, and concurrent serving —
+//!   epoch-based MVCC snapshots ([`live::epoch`]) behind a multi-threaded query
+//!   server ([`live::serve`]);
 //! * [`workload`] — the Figure 1 running example and the synthetic contact-tracing
 //!   graphs of the experimental evaluation (bulk and streamed).
 //!
