@@ -1,0 +1,8 @@
+//! Seeded violation for the `deprecated-entry-point` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+pub fn old_api(graph: &engine::GraphRelations) -> usize {
+    // VIOLATION: calls a deprecated one-shot wrapper instead of engine::Query.
+    let out = engine::execute_text("MATCH (x:Person) ON g", graph, &Default::default());
+    out.map(|table| table.len()).unwrap_or(0)
+}

@@ -1,0 +1,11 @@
+//! Seeded violation for the `live-graph-discipline` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+use live::LiveGraph;
+use tgraph::Interval;
+
+pub fn rogue_graph() -> LiveGraph {
+    // VIOLATION: constructs a LiveGraph directly, bypassing ServeGraph's
+    // write-then-publish discipline — readers can never pin its state.
+    LiveGraph::new(Interval::of(1, 10))
+}

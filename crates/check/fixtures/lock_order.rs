@@ -1,0 +1,14 @@
+//! Seeded violation for the `lock-order` lint (never compiled; exercised by
+//! `cargo run -p check -- --self-test`).
+
+impl EpochManager {
+    pub fn refresh_under_registry(&self) {
+        let inner = self.lock();
+        // VIOLATION: acquires the writer mutex while holding the epoch
+        // registry — the inverse of the protocol's writer -> registry order,
+        // deadlocking against a concurrent ingest.
+        let mut writer = self.writer();
+        writer.refresh_all();
+        drop(inner);
+    }
+}

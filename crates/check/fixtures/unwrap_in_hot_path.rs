@@ -1,0 +1,7 @@
+//! Seeded violation for the `unwrap-in-hot-path` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+pub fn first_row(rows: &[u32]) -> u32 {
+    // VIOLATION: a panic here would take down a whole executor worker.
+    rows.first().copied().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Seeded violations for the `unwrap-under-lock` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+use std::sync::Mutex;
+
+pub fn wedge(state: &Mutex<Vec<u64>>) -> u64 {
+    // VIOLATION: panics on a poisoned lock instead of recovering.
+    let guard = state.lock().unwrap();
+    // VIOLATION: panicking while the guard is live poisons the mutex for
+    // every other thread.
+    guard.first().copied().expect("non-empty while holding the guard")
+}

@@ -1,0 +1,9 @@
+//! Seeded violation for the `wallclock-in-test` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+#[test]
+fn flaky_timing() {
+    // VIOLATION: wall-clock reads make test failures unreproducible.
+    let started = std::time::Instant::now();
+    assert!(started.elapsed().as_millis() < 100);
+}

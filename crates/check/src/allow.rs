@@ -1,0 +1,89 @@
+//! The audited-exception list: `crates/check/allow.list`.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! <lint-id> <path-prefix> [-- reason]
+//! ```
+//!
+//! A finding is allowlisted when its lint id matches exactly and its path
+//! starts with the entry's path prefix.  `#`-lines and blank lines are
+//! ignored.  Entries that never match anything are reported as warnings so
+//! the list cannot silently rot.
+
+use std::path::Path;
+
+use crate::lints::Finding;
+
+/// One parsed allowlist entry.
+pub struct Entry {
+    /// The lint this entry silences.
+    pub lint: String,
+    /// Workspace-relative path prefix the exception covers.
+    pub path: String,
+    /// Why the exception is sound (after `--`).
+    pub reason: String,
+    /// Set when at least one finding matched during the run.
+    pub used: bool,
+}
+
+/// The parsed allowlist.
+#[derive(Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Loads `allow.list` from disk; a missing file is an empty list.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Ok(Allowlist::default());
+        };
+        let mut entries = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (spec, reason) = match line.split_once(" -- ") {
+                Some((spec, reason)) => (spec.trim(), reason.trim().to_owned()),
+                None => (line, String::new()),
+            };
+            let mut fields = spec.split_whitespace();
+            let (Some(lint), Some(entry_path), None) =
+                (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(format!(
+                    "{}:{}: malformed allowlist entry (expected `<lint-id> <path> [-- reason]`): {line}",
+                    path.display(),
+                    number + 1,
+                ));
+            };
+            entries.push(Entry {
+                lint: lint.to_owned(),
+                path: entry_path.to_owned(),
+                reason,
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True (and marks the entry used) if some entry covers the finding.
+    pub fn allows(&mut self, finding: &Finding) -> bool {
+        let mut allowed = false;
+        for entry in &mut self.entries {
+            if entry.lint == finding.lint && finding.path.starts_with(&entry.path) {
+                entry.used = true;
+                allowed = true;
+            }
+        }
+        allowed
+    }
+
+    /// Entries that matched nothing this run.
+    pub fn unused(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(|e| !e.used)
+    }
+}

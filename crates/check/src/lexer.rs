@@ -1,0 +1,300 @@
+//! A minimal Rust source preprocessor for the lint passes.
+//!
+//! [`analyze`] blanks the contents of comments, string literals and character
+//! literals (preserving line structure) and computes which lines fall inside
+//! `#[cfg(test)]`-gated regions.  The token-level lints then match plain
+//! substrings without being fooled by text in docs, literals, or test code.
+//!
+//! This is deliberately not a real lexer: it only needs to be sound on the
+//! constructs this workspace actually uses, and to *never* report a line
+//! number off by one (blanking preserves every newline).
+
+/// A preprocessed source file.
+pub struct Source {
+    /// Blanked source lines (0-indexed internally; findings report 1-indexed).
+    pub lines: Vec<String>,
+    /// `in_test[i]` is true if line `i` lies inside a `#[cfg(test)]` region
+    /// (including `#[cfg(all(test, …))]` and the attribute line itself).
+    pub in_test: Vec<bool>,
+}
+
+/// Blanks `src` and computes its test regions.
+pub fn analyze(src: &str) -> Source {
+    let blanked = blank(src);
+    let lines: Vec<String> = blanked.lines().map(str::to_owned).collect();
+    let in_test = test_regions(&lines);
+    Source { lines, in_test }
+}
+
+/// Replaces the contents of comments and literals with spaces, keeping
+/// newlines (and therefore line numbers) intact.
+fn blank(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i = blank_block_comment(b, i, &mut out);
+            }
+            b'"' => i = blank_string(b, i, &mut out),
+            b'r' if !ident_before(b, i) && raw_quote_offset(b, i + 1).is_some() => {
+                i = blank_raw_string(b, i, &mut out);
+            }
+            b'b' if !ident_before(b, i) && b.get(i + 1) == Some(&b'"') => {
+                out.push(b' ');
+                i = blank_string(b, i + 1, &mut out);
+            }
+            b'b' if !ident_before(b, i)
+                && b.get(i + 1) == Some(&b'r')
+                && raw_quote_offset(b, i + 2).is_some() =>
+            {
+                i = blank_raw_string(b, i, &mut out);
+            }
+            b'\'' => i = blank_char_or_lifetime(b, i, &mut out),
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn blank_block_comment(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    let mut depth = 1;
+    out.extend_from_slice(b"  ");
+    i += 2;
+    while i < b.len() && depth > 0 {
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            out.extend_from_slice(b"  ");
+            i += 2;
+        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            out.extend_from_slice(b"  ");
+            i += 2;
+        } else {
+            out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Blanks a normal string literal starting at the opening quote.
+fn blank_string(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                out.push(b' ');
+                if let Some(&escaped) = b.get(i + 1) {
+                    out.push(if escaped == b'\n' { b'\n' } else { b' ' });
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// If `b[from..]` is `#*"` (the hash run and opening quote of a raw string),
+/// returns the offset of the quote relative to `from`.
+fn raw_quote_offset(b: &[u8], from: usize) -> Option<usize> {
+    let mut k = from;
+    while b.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    (b.get(k) == Some(&b'"')).then(|| k - from)
+}
+
+/// Blanks a raw (or raw byte) string literal starting at the `r`/`b` prefix.
+fn blank_raw_string(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    let hash_from = if b[i] == b'b' { i + 2 } else { i + 1 };
+    let hashes = raw_quote_offset(b, hash_from).unwrap_or(0);
+    let body = hash_from + hashes + 1;
+    // Prefix (r##") becomes spaces too — nothing in it is lintable.
+    for _ in i..body {
+        out.push(b' ');
+    }
+    i = body;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            for _ in 0..=hashes {
+                out.push(b' ');
+            }
+            return i + 1 + hashes;
+        }
+        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+        i += 1;
+    }
+    i
+}
+
+/// Distinguishes char literals (blanked) from lifetimes (kept).
+fn blank_char_or_lifetime(b: &[u8], i: usize, out: &mut Vec<u8>) -> usize {
+    if b.get(i + 1) == Some(&b'\\') {
+        // Escaped char literal: blank through the closing quote.
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' && j - i < 12 {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            for _ in i..=j {
+                out.push(b' ');
+            }
+            return j + 1;
+        }
+    } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+        // Plain one-byte char literal like 'x'.
+        out.extend_from_slice(b"   ");
+        return i + 3;
+    }
+    // A lifetime (or a multi-byte char literal, which is rare enough that
+    // leaving its bytes as "code" is harmless — no lint pattern matches it).
+    out.push(b'\'');
+    i + 1
+}
+
+fn ident_before(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-gated items, by brace matching
+/// from the first `{` after the attribute.
+fn test_regions(lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // Depths at which a test-gated item's body opened.
+    let mut regions: Vec<i32> = Vec::new();
+    // Saw the attribute; waiting for the item's opening brace.
+    let mut pending = false;
+    for (idx, line) in lines.iter().enumerate() {
+        if pending || !regions.is_empty() {
+            in_test[idx] = true;
+        }
+        if line.contains("#[cfg(") && mentions_test(line) {
+            pending = true;
+            in_test[idx] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use …;` — an item without a body.
+                ';' if pending => pending = false,
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+/// True if the line contains `test` as a standalone word (so
+/// `#[cfg(feature = "testing")]` — blanked anyway — or `latest` don't count).
+fn mentions_test(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(at) = line[from..].find("test") {
+        let start = from + at;
+        let end = start + "test".len();
+        let before =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before && after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_comments_are_blanked() {
+        let src =
+            "let s = \"x.unwrap()\"; // .expect(boom)\nlet c = 'u'; let r = r#\".lock()\"#;\n";
+        let out = blank(src);
+        assert!(!out.contains(".unwrap()"));
+        assert!(!out.contains(".expect("));
+        assert!(!out.contains(".lock()"));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_survive_blanking() {
+        let out = blank("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(out.contains("<'a>"));
+        assert!(out.contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_chars_and_multiline_strings_keep_line_numbers() {
+        let src = "let a = '\\n';\nlet b = \"line one\nline two\";\nlet c = 1;\n";
+        let out = blank(src);
+        assert_eq!(out.lines().count(), 4, "the newline inside the string is preserved");
+        assert!(out.lines().nth(3).unwrap().contains("let c = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\nfn after() {}\n";
+        let analyzed = analyze(src);
+        assert!(!analyzed.in_test[0]);
+        assert!(analyzed.in_test[2], "the attribute line counts");
+        assert!(analyzed.in_test[3]);
+        assert!(analyzed.in_test[4]);
+        assert!(analyzed.in_test[5]);
+        assert!(!analyzed.in_test[7]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_but_feature_testing_does_not() {
+        let gated = analyze("#[cfg(all(test, feature = \"slow\"))]\nmod t {\n    fn f() {}\n}\n");
+        assert!(gated.in_test[2]);
+        let free = analyze("#[cfg(feature = \"testing\")]\nmod t {\n    fn f() {}\n}\n");
+        assert!(
+            !free.in_test[2],
+            "feature strings are blanked and 'testing' is not the word 'test'"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! The `--plans` mode: run the engine's static plan auditor
+//! ([`engine::plan::audit`]) over every built-in benchmark plan, so a compiler
+//! regression that produces a malformed `EnginePlan` fails CI before any
+//! benchmark executes it.
+
+use trpq::queries::QueryId;
+
+/// Audits Q1–Q12.  Returns true on success.
+pub fn run() -> bool {
+    let mut failed = false;
+    for &id in QueryId::ALL.iter() {
+        let plan_set = engine::queries::plan_for(id);
+        match engine::audit(&plan_set) {
+            Ok(report) => {
+                let hops: Vec<String> = report
+                    .hop_depths
+                    .iter()
+                    .map(|d| d.map_or_else(|| "closure".to_owned(), |h| h.to_string()))
+                    .collect();
+                println!(
+                    "plan-audit: {id:?} ok — {} alternative(s), hop depth [{}], closure nesting {}",
+                    plan_set.plans.len(),
+                    hops.join(", "),
+                    report.max_closure_depth,
+                );
+            }
+            Err(error) => {
+                failed = true;
+                eprintln!("plan-audit: {id:?} FAILED:\n{error}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("plan-audit: at least one built-in plan is malformed");
+    } else {
+        println!("plan-audit: all {} built-in plans pass", QueryId::ALL.len());
+    }
+    !failed
+}

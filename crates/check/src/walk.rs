@@ -1,0 +1,54 @@
+//! Workspace file discovery: every `.rs` file that belongs to this repo's own
+//! code, in deterministic order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names that are never scanned: build output, the vendored
+/// dependency shims (not this repo's code), VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Returns the workspace-relative paths (forward-slashed) of every `.rs` file
+/// to lint, sorted.  The check crate's own fixtures are excluded — each one
+/// exists to *violate* a lint and is exercised by `--self-test` instead.
+pub fn rust_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    collect(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || is_fixture_dir(root, &path) {
+                continue;
+            }
+            collect(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative(root, &path) {
+                out.push(rel);
+            }
+        }
+    }
+}
+
+fn is_fixture_dir(root: &Path, path: &Path) -> bool {
+    relative(root, path).as_deref() == Some("crates/check/fixtures")
+}
+
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let mut parts: Vec<String> = Vec::new();
+    for component in rel.components() {
+        parts.push(component.as_os_str().to_str()?.to_owned());
+    }
+    Some(parts.join("/"))
+}

@@ -10,6 +10,7 @@
 //! `crossbeam` scoped threads ([`parallel`]) standing in for the paper's use of
 //! Itertools + Rayon.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod operators;

@@ -152,6 +152,13 @@ fn run_interval_phase(
     options: &ExecutionOptions,
     strategy: JoinStrategy,
 ) -> IntervalPhase {
+    // Every debug execution audits its plan set: a malformed plan (hand-built,
+    // or corrupted by a future compiler bug) is rejected with a diagnostic
+    // instead of panicking deep inside a step.
+    #[cfg(debug_assertions)]
+    if let Err(error) = crate::plan::audit::audit(plan_set) {
+        panic!("refusing to execute a malformed plan set: {error}");
+    }
     let step_stats = StepStats::default();
     let start = Instant::now();
     let per_plan_chains: Vec<Vec<Chain>> = plan_set
@@ -316,6 +323,13 @@ pub fn run_plan_seeded(
     strategy: JoinStrategy,
     stats: &StepStats,
 ) -> Vec<Chain> {
+    // Seeded execution bypasses `run_interval_phase`, so it audits its plan
+    // itself (without slot-range information — there is no plan set here).
+    #[cfg(debug_assertions)]
+    {
+        let issues = crate::plan::audit::audit_plan(plan, None);
+        assert!(issues.is_empty(), "refusing to execute a malformed plan: {issues:?}");
+    }
     par_chunk_flat_map(seed_rows, parallelism, |rows| {
         let mut chains: Vec<Chain> = rows.iter().map(|&r| Chain::seed(r, graph)).collect();
         for (index, segment) in plan.segments.iter().enumerate() {

@@ -34,6 +34,7 @@
 //! with bounded delay, and [`CompactAnswers`] — per-`(source, target)` coalesced
 //! interval sets computed without point expansion.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answers;
@@ -59,6 +60,7 @@ pub use executor::{
 };
 #[allow(deprecated)]
 pub use executor::{execute_clause, execute_query, execute_text};
+pub use plan::audit::{audit, audit_plan, AuditError, AuditIssue, AuditReport};
 pub use plan::{
     ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,
     TemporalLink,

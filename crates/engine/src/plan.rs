@@ -11,6 +11,8 @@ use dataflow::JoinStrategy;
 use tgraph::{Interval, Time, Value};
 use trpq::parser::{CmpOp, Constraint};
 
+pub mod audit;
+
 /// Direction of a single structural hop within a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HopDirection {

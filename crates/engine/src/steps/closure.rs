@@ -382,13 +382,9 @@ fn shift_band(graph: &GraphRelations, band: &BandState, shift: &Shift, out: &mut
         (-shift.max.map_or(span, |m| m as i128), -(shift.min as i128))
     };
     let lag = TimeLag { lo: band.lag.lo + add_lo, hi: band.lag.hi + add_hi };
-    let rows: &[u32] = match band.position {
-        Position::NodeRow(_) => {
-            graph.rows_of_node(object.as_node().expect("node position refers to a node"))
-        }
-        Position::EdgeRow(_) => {
-            graph.rows_of_edge(object.as_edge().expect("edge position refers to an edge"))
-        }
+    let rows: &[u32] = match object {
+        tgraph::Object::Node(node) => graph.rows_of_node(node),
+        tgraph::Object::Edge(edge) => graph.rows_of_edge(edge),
     };
     for &row in rows {
         let (position, row_interval) = match band.position {

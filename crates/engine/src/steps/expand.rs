@@ -101,8 +101,16 @@ impl Expansion<'_> {
         match &self.plan.links[segment - 1] {
             TemporalLink::Shift(shift) => shift.admits(from, to),
             TemporalLink::Closure(_) => {
-                let index = self.lag_indices[segment - 1].expect("closure links carry a lag index");
-                self.chain.lags[index].admits(from, to)
+                debug_assert!(
+                    self.lag_indices[segment - 1].is_some(),
+                    "closure links carry a lag index"
+                );
+                match self.lag_indices[segment - 1] {
+                    Some(index) => self.chain.lags[index].admits(from, to),
+                    // Unreachable by construction; admitting keeps the
+                    // expansion total without panicking on the hot path.
+                    None => true,
+                }
             }
         }
     }
@@ -121,8 +129,12 @@ fn enumerate(
     if segment > ctx.last_bound_segment {
         // All remaining segments are unbound: check that a consistent completion
         // exists, then emit the row.
-        if feasible(ctx, segment, *times.last().expect("at least one segment enumerated")) {
-            emit_row(ctx.chain, num_slots, times, table);
+        // `segment > last_bound_segment >= 0` implies at least one prior push.
+        debug_assert!(!times.is_empty(), "at least one segment enumerated");
+        if let Some(&last) = times.last() {
+            if feasible(ctx, segment, last) {
+                emit_row(ctx.chain, num_slots, times, table);
+            }
         }
         return;
     }

@@ -28,13 +28,9 @@ pub fn apply_shift(graph: &GraphRelations, chains: Vec<Chain>, shift: &Shift) ->
         let Some(arrival) = shift.arrival_from_interval(chain.interval, within) else {
             continue;
         };
-        let row_indices: Vec<u32> = match chain.position {
-            Position::NodeRow(_) => graph
-                .rows_of_node(object.as_node().expect("node position refers to a node"))
-                .to_vec(),
-            Position::EdgeRow(_) => graph
-                .rows_of_edge(object.as_edge().expect("edge position refers to an edge"))
-                .to_vec(),
+        let row_indices: Vec<u32> = match object {
+            tgraph::Object::Node(node) => graph.rows_of_node(node).to_vec(),
+            tgraph::Object::Edge(edge) => graph.rows_of_edge(edge).to_vec(),
         };
         for row in row_indices {
             let (position, row_interval) = match chain.position {

@@ -128,6 +128,7 @@ impl EpochManager {
         relations: GraphRelations,
         tables: Vec<Arc<BindingTable>>,
     ) -> u64 {
+        crate::sched::yield_point("epoch:publish");
         let mut inner = self.lock();
         let version = inner.current + 1;
         let snapshot = Arc::new(EpochSnapshot { epoch, version, relations, tables });
@@ -151,11 +152,24 @@ impl EpochManager {
     /// (and its memory alive) until dropped, no matter how many epochs the
     /// writer publishes in the meantime.
     pub fn pin(self: &Arc<Self>) -> PinnedEpoch {
+        crate::sched::yield_point("epoch:pin");
         let mut inner = self.lock();
         let current = inner.current;
-        let entry = inner.retained.get_mut(&current).expect("the current epoch is retained");
-        entry.pins += 1;
-        let snapshot = Arc::clone(&entry.snapshot);
+        // No `.expect()` while the guard is held: a panic here would poison
+        // the registry for every other reader.  The current epoch is retained
+        // by construction (publish inserts before retiring, unpin never
+        // removes the current version), so the miss arm is unreachable — but
+        // it releases the guard before saying so.
+        let snapshot = match inner.retained.get_mut(&current) {
+            Some(entry) => {
+                entry.pins += 1;
+                Arc::clone(&entry.snapshot)
+            }
+            None => {
+                drop(inner);
+                unreachable!("the current epoch is always retained");
+            }
+        };
         drop(inner);
         PinnedEpoch { manager: Arc::clone(self), snapshot }
     }
@@ -177,9 +191,44 @@ impl EpochManager {
         self.lock().retained.contains_key(&version)
     }
 
+    /// The version of the currently served epoch.
+    pub fn current_version(&self) -> u64 {
+        self.lock().current
+    }
+
+    /// Republishes the current snapshot's state as a new epoch — the model
+    /// checker's stand-in for an ingest, exercising the exact publish/retire
+    /// bookkeeping without a writer graph (and without the writer mutex, so
+    /// schedule-explorer scripts may run several concurrent publishers).
+    #[cfg(any(debug_assertions, feature = "model-check"))]
+    #[doc(hidden)]
+    pub fn republish_for_check(self: &Arc<Self>) -> u64 {
+        let (epoch, relations, tables) = {
+            let inner = self.lock();
+            let snapshot = match inner.retained.get(&inner.current) {
+                Some(entry) => Arc::clone(&entry.snapshot),
+                None => {
+                    drop(inner);
+                    unreachable!("the current epoch is always retained");
+                }
+            };
+            drop(inner);
+            (snapshot.epoch, snapshot.relations.snapshot(), snapshot.tables.clone())
+        };
+        self.publish(epoch, relations, tables)
+    }
+
     fn unpin(&self, version: u64) {
+        crate::sched::yield_point("epoch:unpin");
         let mut inner = self.lock();
-        let entry = inner.retained.get_mut(&version).expect("a pinned epoch stays retained");
+        // As in `pin`, never panic while holding the guard.  A miss would mean
+        // a double-unpin or an unpin of a reclaimed epoch — report it outside
+        // the lock in debug builds, keep serving in release.
+        let Some(entry) = inner.retained.get_mut(&version) else {
+            drop(inner);
+            debug_assert!(false, "unpinned version {version} is no longer retained");
+            return;
+        };
         debug_assert!(entry.pins > 0);
         entry.pins -= 1;
         if entry.pins == 0 && version != inner.current {
@@ -221,10 +270,17 @@ impl std::ops::Deref for PinnedEpoch {
 
 impl Clone for PinnedEpoch {
     fn clone(&self) -> Self {
+        crate::sched::yield_point("epoch:clone");
         let mut inner = self.manager.lock();
-        let entry =
-            inner.retained.get_mut(&self.snapshot.version).expect("a pinned epoch stays retained");
-        entry.pins += 1;
+        // `self` holds a pin, so its version is retained; as in `pin`, the
+        // unreachable miss arm still releases the guard before panicking.
+        match inner.retained.get_mut(&self.snapshot.version) {
+            Some(entry) => entry.pins += 1,
+            None => {
+                drop(inner);
+                unreachable!("a pinned epoch stays retained while its guard is alive");
+            }
+        }
         drop(inner);
         PinnedEpoch { manager: Arc::clone(&self.manager), snapshot: Arc::clone(&self.snapshot) }
     }

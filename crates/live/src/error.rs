@@ -25,6 +25,10 @@ pub enum LiveError {
     UnknownQuery(crate::query::LiveQueryId),
     /// The query server shut down before producing a response.
     ServerClosed,
+    /// A worker thread panicked while executing the request.  The panic is
+    /// contained: the worker keeps serving and other requests are unaffected.
+    /// Carries the panic payload rendered as text.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for LiveError {
@@ -39,6 +43,9 @@ impl fmt::Display for LiveError {
                 write!(f, "no registered query {id:?} in the pinned epoch")
             }
             LiveError::ServerClosed => write!(f, "the query server shut down before responding"),
+            LiveError::WorkerPanicked(message) => {
+                write!(f, "a server worker panicked while executing the request: {message}")
+            }
         }
     }
 }
@@ -50,7 +57,8 @@ impl std::error::Error for LiveError {
             LiveError::Query(e) => Some(e),
             LiveError::NonMonotonicEpoch { .. }
             | LiveError::UnknownQuery(_)
-            | LiveError::ServerClosed => None,
+            | LiveError::ServerClosed
+            | LiveError::WorkerPanicked(_) => None,
         }
     }
 }

@@ -56,12 +56,14 @@
 //! assert_eq!(graph.table(risky).len(), 1);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod epoch;
 pub mod error;
 pub mod graph;
 pub mod query;
+pub mod sched;
 pub mod serve;
 
 pub use epoch::{EpochManager, EpochSnapshot, EpochStats, PinnedEpoch};

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use dataflow::Parallelism;
 use engine::bindings::{Binding, BindingTable};
-use engine::plan::{EnginePlan, MicroOp, PlanSet, TemporalLink};
+use engine::plan::{EnginePlan, PlanSet};
 use engine::steps::expand::expand_chains;
 use engine::steps::StepStats;
 use engine::{run_plan_seeded, GraphRelations, JoinStrategy};
@@ -226,21 +226,12 @@ impl QueryState {
 
 /// The number of structural hops a plan performs, or `None` if the plan contains
 /// a closure fixpoint (whose reach is not statically bounded).
+///
+/// Delegates to the static plan analyzer: the hop bound the refresh sweep
+/// relies on is exactly the one [`engine::plan::audit`] certifies (and bounds
+/// by `MAX_STATIC_HOPS`) for every audited plan.
 fn plan_hop_depth(plan: &EnginePlan) -> Option<usize> {
-    if plan.links.iter().any(|link| matches!(link, TemporalLink::Closure(_))) {
-        return None;
-    }
-    let mut hops = 0usize;
-    for segment in &plan.segments {
-        for op in &segment.ops {
-            match op {
-                MicroOp::Hop(_) => hops += 1,
-                MicroOp::Closure(_) => return None,
-                MicroOp::Filter(_) | MicroOp::Bind(_) => {}
-            }
-        }
-    }
-    Some(hops)
+    engine::plan::audit::hop_depth(plan)
 }
 
 /// Groups chains by the node their seed row belongs to.
@@ -339,7 +330,7 @@ fn diff_sorted(old: &[Vec<Binding>], new: &[Vec<Binding>]) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engine::plan::{HopDirection, ObjFilter, Segment, Shift};
+    use engine::plan::{HopDirection, MicroOp, ObjFilter, Segment, Shift, TemporalLink};
 
     #[test]
     fn hop_depth_counts_hops_and_rejects_closures() {

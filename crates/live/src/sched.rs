@@ -1,0 +1,541 @@
+//! A deterministic schedule explorer (a miniature "loom") for the epoch
+//! protocol.
+//!
+//! [`EpochManager`](crate::epoch::EpochManager) threads a [`yield_point`]
+//! through the entry of every protocol operation (`pin`, `unpin`, `publish`,
+//! pin cloning).  In ordinary builds the hook is a no-op — release binaries
+//! without the `model-check` feature compile it away entirely.  Under
+//! `debug_assertions` or `--features model-check`, a per-thread hook can be
+//! installed, and the [`Explorer`] uses it to *schedule* real threads: every
+//! worker parks at each yield point, and a controller decides, step by step,
+//! which thread performs its next operation.
+//!
+//! Because an operation yields exactly once — at its entry, **never while
+//! holding the registry lock** — one scheduling decision corresponds to one
+//! atomic protocol operation.  The explorer enumerates the full decision tree
+//! depth-first, so for threads performing k₁, …, kₙ operations it covers all
+//! `(k₁ + … + kₙ)! / (k₁! ⋯ kₙ!)` distinct interleavings, checks the caller's
+//! invariant at every quiescent point of every schedule, and reports the exact
+//! counts (which tests assert against the closed form, proving coverage).  A
+//! violated invariant panics with the full counterexample trace: the schedule
+//! index and the exact sequence of `(thread, operation)` decisions to replay.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+#[cfg(any(debug_assertions, feature = "model-check"))]
+use std::cell::RefCell;
+
+/// The scheduling hook installed by an [`Explorer`].  Plain `Box<dyn Fn>`:
+/// the hook is created on — and never leaves — its worker thread.
+#[cfg(any(debug_assertions, feature = "model-check"))]
+type Hook = Box<dyn Fn(&'static str)>;
+
+#[cfg(any(debug_assertions, feature = "model-check"))]
+thread_local! {
+    /// The scheduling hook of the current thread, if an [`Explorer`] installed
+    /// one.
+    static HOOK: RefCell<Option<Hook>> = const { RefCell::new(None) };
+}
+
+/// A cooperative scheduling point, placed at the entry of every epoch-protocol
+/// operation.  No-op (and fully compiled away) unless a schedule explorer has
+/// installed a hook on the current thread.
+#[inline]
+pub fn yield_point(label: &'static str) {
+    #[cfg(any(debug_assertions, feature = "model-check"))]
+    HOOK.with(|hook| {
+        if let Some(hook) = hook.borrow().as_ref() {
+            hook(label);
+        }
+    });
+    #[cfg(not(any(debug_assertions, feature = "model-check")))]
+    let _ = label;
+}
+
+/// How long a worker or the controller waits for the other side before
+/// declaring the schedule wedged.  Generous: reached only when a script blocks
+/// outside a yield point (e.g. two publishers contending for the `ServeGraph`
+/// writer mutex), which is an explorer-usage bug.
+const STALL: Duration = Duration::from_secs(10);
+
+/// What one exploration covered: asserted against the closed-form interleaving
+/// count by the model-check suite, so "explored everything" is a checked claim
+/// rather than a comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct schedules (interleavings) executed.
+    pub schedules: usize,
+    /// Total scheduling decisions across all schedules.
+    pub steps: usize,
+}
+
+/// One scheduling decision of a counterexample trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Which thread was allowed to run.
+    pub thread: usize,
+    /// The yield-point label of the operation it performed.
+    pub label: &'static str,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned, has not reached its first yield point yet.
+    Startup,
+    /// Parked at a yield point with this label, waiting for its turn.
+    /// Entered only via [`Control::park`], i.e. never in plain release builds.
+    #[cfg_attr(not(any(debug_assertions, feature = "model-check")), allow(dead_code))]
+    Parked(&'static str),
+    /// Currently performing one operation (between being granted a turn and
+    /// reaching the next yield point).
+    #[cfg_attr(not(any(debug_assertions, feature = "model-check")), allow(dead_code))]
+    Running,
+    /// Script finished (or panicked — panics are recorded separately).
+    Done,
+}
+
+struct ControlInner {
+    statuses: Vec<Status>,
+    /// The thread currently granted a turn, if any.
+    turn: Option<usize>,
+    /// Panic messages of workers that died mid-schedule.
+    panics: Vec<String>,
+    /// Set when the controller gives up on the schedule: parked workers run
+    /// free (every yield point returns immediately) so the thread scope can
+    /// join them before the failure is reported.
+    aborted: bool,
+}
+
+/// The controller ⇄ worker rendezvous of one schedule run.
+struct Control {
+    inner: Mutex<ControlInner>,
+    changed: Condvar,
+}
+
+impl Control {
+    fn new(threads: usize) -> Self {
+        Control {
+            inner: Mutex::new(ControlInner {
+                statuses: vec![Status::Startup; threads],
+                turn: None,
+                panics: Vec::new(),
+                aborted: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ControlInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Worker side: park at a yield point until the controller grants a turn
+    /// (or the schedule is aborted, in which case yield points deschedule
+    /// themselves and the script runs free).
+    ///
+    /// Only reachable through the hook, so plain release builds (no yield
+    /// points) never construct a `Parked`/`Running` status.
+    #[cfg_attr(not(any(debug_assertions, feature = "model-check")), allow(dead_code))]
+    fn park(&self, tid: usize, label: &'static str) {
+        let mut guard = self.lock();
+        if guard.aborted {
+            return;
+        }
+        guard.statuses[tid] = Status::Parked(label);
+        self.changed.notify_all();
+        loop {
+            if guard.aborted {
+                guard.statuses[tid] = Status::Running;
+                return;
+            }
+            if guard.turn == Some(tid) {
+                guard.turn = None;
+                guard.statuses[tid] = Status::Running;
+                return;
+            }
+            let (next, timeout) = self
+                .changed
+                .wait_timeout(guard, STALL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = next;
+            assert!(!timeout.timed_out(), "worker {tid} starved at {label}: controller stalled");
+        }
+    }
+
+    /// Worker side: mark this thread finished.
+    fn finish(&self, tid: usize, panic_message: Option<String>) {
+        let mut guard = self.lock();
+        guard.statuses[tid] = Status::Done;
+        if let Some(message) = panic_message {
+            guard.panics.push(format!("thread {tid} panicked: {message}"));
+        }
+        drop(guard);
+        self.changed.notify_all();
+    }
+
+    /// Controller side: wait until every thread is parked or done, then return
+    /// the parked set (quiescence — no operation is in flight) and whether the
+    /// schedule is still clean of worker panics.
+    fn wait_quiescent(&self) -> (Vec<(usize, &'static str)>, bool) {
+        let mut guard = self.lock();
+        loop {
+            let busy =
+                guard.statuses.iter().any(|s| matches!(s, Status::Startup | Status::Running));
+            if !busy && guard.turn.is_none() {
+                let parked: Vec<(usize, &'static str)> = guard
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(tid, s)| match s {
+                        Status::Parked(label) => Some((tid, *label)),
+                        _ => None,
+                    })
+                    .collect();
+                let clean = guard.panics.is_empty();
+                return (parked, clean);
+            }
+            let (next, timeout) = self
+                .changed
+                .wait_timeout(guard, STALL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = next;
+            assert!(
+                !timeout.timed_out(),
+                "schedule stalled: a worker blocked outside a yield point \
+                 (scripts must only synchronise through the epoch protocol)"
+            );
+        }
+    }
+
+    /// Controller side: grant the turn to one parked thread.
+    fn grant(&self, tid: usize) {
+        let mut guard = self.lock();
+        debug_assert!(matches!(guard.statuses[tid], Status::Parked(_)));
+        guard.turn = Some(tid);
+        drop(guard);
+        self.changed.notify_all();
+    }
+
+    /// Controller side: give up on the schedule and release every parked
+    /// worker to run to completion.
+    fn abort(&self) {
+        self.lock().aborted = true;
+        self.changed.notify_all();
+    }
+
+    fn drain_panics(&self) -> Vec<String> {
+        std::mem::take(&mut self.lock().panics)
+    }
+}
+
+/// Installs the explorer hook for the lifetime of one worker script and clears
+/// it on drop (also on panic, so a dead worker cannot leak a hook into a
+/// reused test thread).
+#[cfg(any(debug_assertions, feature = "model-check"))]
+struct HookGuard;
+
+#[cfg(any(debug_assertions, feature = "model-check"))]
+impl HookGuard {
+    fn install(hook: Box<dyn Fn(&'static str)>) -> Self {
+        HOOK.with(|slot| *slot.borrow_mut() = Some(hook));
+        HookGuard
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "model-check"))]
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        HOOK.with(|slot| *slot.borrow_mut() = None);
+    }
+}
+
+/// An exhaustive depth-first schedule explorer over the yield points of the
+/// epoch protocol.
+///
+/// See the module docs for the execution model.  The explorer is deterministic
+/// end to end: no randomness, no wall-clock dependence (timeouts only abort
+/// schedules that are already wedged), so a failing schedule index reproduces
+/// exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Hard bound on the number of schedules, as a runaway backstop; the
+    /// explorer panics when it is hit (coverage would be silently partial).
+    pub max_schedules: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer { max_schedules: 250_000 }
+    }
+}
+
+impl Explorer {
+    /// Explores every interleaving of `threads` scripted workers.
+    ///
+    /// Per schedule: `setup()` builds a fresh shared state, each worker `tid`
+    /// runs `script(tid, &state)` under the explorer's scheduling hook,
+    /// `invariant(&state)` is checked at **every quiescent point** (after each
+    /// operation, while no operation is in flight), and `final_check(&state)`
+    /// once all workers are done.  Any `Err`, worker panic, or stall panics
+    /// with the counterexample trace.
+    pub fn explore<S: Sync>(
+        &self,
+        threads: usize,
+        setup: impl Fn() -> S,
+        script: impl Fn(usize, &S) + Sync,
+        invariant: impl Fn(&S) -> Result<(), String>,
+        final_check: impl Fn(&S) -> Result<(), String>,
+    ) -> ExploreReport {
+        assert!(threads > 0, "an exploration needs at least one thread");
+        let mut prefix: Vec<(usize, usize)> = Vec::new();
+        let mut schedules = 0usize;
+        let mut steps = 0usize;
+        loop {
+            assert!(
+                schedules < self.max_schedules,
+                "exceeded max_schedules = {}: bound the scripts or raise the limit",
+                self.max_schedules
+            );
+            let decisions = run_schedule(
+                threads,
+                &setup,
+                &script,
+                &invariant,
+                &final_check,
+                &prefix,
+                schedules,
+            );
+            schedules += 1;
+            steps += decisions.len();
+            // Advance the decision odometer: bump the deepest decision that
+            // still has an unexplored sibling, drop everything after it.
+            let mut next = decisions;
+            loop {
+                match next.last_mut() {
+                    None => return ExploreReport { schedules, steps },
+                    Some((choice, options)) if *choice + 1 < *options => {
+                        *choice += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        next.pop();
+                    }
+                }
+            }
+            prefix = next;
+        }
+    }
+}
+
+/// Runs one schedule: replays `prefix`, then extends it with first-choice
+/// decisions.  Returns the full decision list as `(choice, options)` pairs.
+fn run_schedule<S: Sync>(
+    threads: usize,
+    setup: &impl Fn() -> S,
+    script: &(impl Fn(usize, &S) + Sync),
+    invariant: &impl Fn(&S) -> Result<(), String>,
+    final_check: &impl Fn(&S) -> Result<(), String>,
+    prefix: &[(usize, usize)],
+    schedule_index: usize,
+) -> Vec<(usize, usize)> {
+    let state = setup();
+    // Arc'd so the 'static thread-local hook can hold it; the workers joined
+    // by the scope are its only other owners.
+    let control = std::sync::Arc::new(Control::new(threads));
+    let mut decisions: Vec<(usize, usize)> = Vec::new();
+    let mut trace: Vec<TraceStep> = Vec::new();
+    let mut failure: Option<String> = None;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let control = std::sync::Arc::clone(&control);
+            let state = &state;
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(any(debug_assertions, feature = "model-check"))]
+                    let _hook = {
+                        let control = std::sync::Arc::clone(&control);
+                        HookGuard::install(Box::new(move |label| {
+                            control.park(tid, label);
+                        }))
+                    };
+                    script(tid, state);
+                }));
+                control.finish(tid, outcome.err().map(render_panic));
+            });
+        }
+        loop {
+            let (parked, clean) = control.wait_quiescent();
+            if !clean {
+                let mut messages = control.drain_panics();
+                messages.sort();
+                failure = Some(messages.join("; "));
+                break;
+            }
+            if let Err(message) = invariant(&state) {
+                failure = Some(format!("invariant violated: {message}"));
+                break;
+            }
+            if parked.is_empty() {
+                break;
+            }
+            let choice = if decisions.len() < prefix.len() { prefix[decisions.len()].0 } else { 0 };
+            assert!(
+                choice < parked.len(),
+                "schedule replay diverged: decision {} picks option {choice} of {}",
+                decisions.len(),
+                parked.len()
+            );
+            decisions.push((choice, parked.len()));
+            let (tid, label) = parked[choice];
+            trace.push(TraceStep { thread: tid, label });
+            control.grant(tid);
+        }
+        // Release any still-parked workers so the scope can join them before
+        // the failure (if any) unwinds the controller.
+        control.abort();
+    });
+    if failure.is_none() {
+        if let Err(message) = final_check(&state) {
+            failure = Some(format!("final check violated: {message}"));
+        }
+    }
+    if let Some(message) = failure {
+        panic!(
+            "model check failed on schedule {schedule_index}\n  trace: {}\n  {message}",
+            render_trace(&trace)
+        );
+    }
+    decisions
+}
+
+fn render_trace(trace: &[TraceStep]) -> String {
+    if trace.is_empty() {
+        return "(empty — violated in the initial state)".to_owned();
+    }
+    trace
+        .iter()
+        .map(|step| format!("t{}:{}", step.thread, step.label))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn render_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(all(test, any(debug_assertions, feature = "model-check")))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A two-thread script of n and m yield points explores C(n+m, n)
+    /// schedules — the closed form the epoch suite relies on.
+    #[test]
+    fn explores_the_exact_interleaving_count() {
+        for (a, b, expected) in [(1usize, 1usize, 2usize), (2, 2, 6), (3, 2, 10), (3, 3, 20)] {
+            let report = Explorer::default().explore(
+                2,
+                || AtomicUsize::new(0),
+                |tid, counter| {
+                    let ops = if tid == 0 { a } else { b };
+                    for _ in 0..ops {
+                        yield_point("op");
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                },
+                |_| Ok(()),
+                |counter| {
+                    let total = counter.load(Ordering::SeqCst);
+                    if total == a + b {
+                        Ok(())
+                    } else {
+                        Err(format!("expected {} ops, saw {total}", a + b))
+                    }
+                },
+            );
+            assert_eq!(report.schedules, expected, "({a}, {b})");
+            // Every schedule makes exactly a + b decisions.
+            assert_eq!(report.steps, expected * (a + b), "({a}, {b})");
+        }
+    }
+
+    /// Three threads of one op each: 3! = 6 interleavings.
+    #[test]
+    fn three_threads_enumerate_all_permutations() {
+        let report = Explorer::default().explore(
+            3,
+            || Mutex::new(Vec::new()),
+            |tid, order| {
+                yield_point("op");
+                order.lock().unwrap_or_else(|p| p.into_inner()).push(tid);
+            },
+            |_| Ok(()),
+            |order| {
+                let order = order.lock().unwrap_or_else(|p| p.into_inner());
+                if order.len() == 3 {
+                    Ok(())
+                } else {
+                    Err(format!("only {} threads ran", order.len()))
+                }
+            },
+        );
+        assert_eq!(report.schedules, 6);
+        assert_eq!(report.steps, 18);
+    }
+
+    /// A violated invariant panics and carries the counterexample trace.
+    #[test]
+    fn counterexample_traces_are_reported() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Explorer::default().explore(
+                2,
+                || AtomicUsize::new(0),
+                |_, counter| {
+                    yield_point("bump");
+                    counter.fetch_add(1, Ordering::SeqCst);
+                },
+                |counter| {
+                    if counter.load(Ordering::SeqCst) < 2 {
+                        Ok(())
+                    } else {
+                        Err("the second bump is the seeded bug".to_owned())
+                    }
+                },
+                |_| Ok(()),
+            );
+        }));
+        let message = render_panic(outcome.expect_err("the seeded violation must be caught"));
+        assert!(message.contains("schedule 0"), "{message}");
+        assert!(message.contains("t0:bump → t1:bump"), "{message}");
+        assert!(message.contains("the seeded bug"), "{message}");
+    }
+
+    /// A panicking worker is contained and reported with its trace instead of
+    /// wedging the exploration.
+    #[test]
+    fn worker_panics_become_schedule_failures() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Explorer::default().explore(
+                2,
+                || (),
+                |tid, ()| {
+                    yield_point("op");
+                    assert!(tid != 1, "seeded worker panic");
+                },
+                |_| Ok(()),
+                |_| Ok(()),
+            );
+        }));
+        let message = render_panic(outcome.expect_err("the worker panic must surface"));
+        assert!(message.contains("thread 1 panicked"), "{message}");
+        assert!(message.contains("seeded worker panic"), "{message}");
+    }
+}

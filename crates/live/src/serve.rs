@@ -42,6 +42,8 @@
 //! server.shutdown();
 //! ```
 
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 
@@ -273,9 +275,14 @@ impl Ticket {
 /// execution time, runs entirely against that immutable snapshot, and replies
 /// with a [`Response`] that keeps the epoch pinned.  The pool never blocks the
 /// writer: ingestion can proceed while every worker is mid-query.
+///
+/// The pool is panic-contained: a request whose execution panics resolves its
+/// own ticket to [`LiveError::WorkerPanicked`] and the worker keeps serving —
+/// one bad request can never wedge the server or take other requests down.
 #[derive(Debug)]
 pub struct Server {
-    tx: Option<mpsc::Sender<Job>>,
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    closed: Arc<AtomicBool>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
@@ -285,14 +292,16 @@ impl Server {
     pub fn start(graph: Arc<ServeGraph>, workers: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let closed = Arc::new(AtomicBool::new(false));
         let handles = (0..workers.max(1))
             .map(|_| {
                 let graph = Arc::clone(&graph);
                 let rx = Arc::clone(&rx);
-                thread::spawn(move || worker_loop(&graph, &rx))
+                let closed = Arc::clone(&closed);
+                thread::spawn(move || worker_loop(&graph, &rx, &closed))
             })
             .collect();
-        Server { tx: Some(tx), workers: handles }
+        Server { tx: Mutex::new(Some(tx)), closed, workers: handles }
     }
 
     /// Enqueues a request; any idle worker picks it up.  The returned
@@ -300,13 +309,13 @@ impl Server {
     /// the server shuts down first).
     pub fn submit(&self, request: Request) -> Ticket {
         let (reply, rx) = mpsc::channel();
-        match &self.tx {
-            Some(tx) => {
+        match &*self.sender() {
+            Some(tx) if !self.closed.load(Ordering::Acquire) => {
                 if tx.send(Job { request, reply: reply.clone() }).is_err() {
                     let _ = reply.send(Err(LiveError::ServerClosed));
                 }
             }
-            None => {
+            _ => {
                 let _ = reply.send(Err(LiveError::ServerClosed));
             }
         }
@@ -318,14 +327,35 @@ impl Server {
         self.workers.len()
     }
 
+    /// True once [`Server::close`] has been called (or the server is mid-drop).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Closes the server abortively through a shared reference: subsequent
+    /// submissions fail fast with [`LiveError::ServerClosed`], and jobs still
+    /// sitting in the queue resolve to [`LiveError::ServerClosed`] instead of
+    /// executing.  Requests already mid-execution run to completion.  Workers
+    /// are joined later, by [`Server::shutdown`] or drop.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        drop(self.sender().take());
+    }
+
     /// Drains the queue and joins every worker.  (Dropping the server does the
     /// same; this form surfaces the join explicitly.)
     pub fn shutdown(mut self) {
         self.join();
     }
 
+    fn sender(&self) -> MutexGuard<'_, Option<mpsc::Sender<Job>>> {
+        // The guarded value is a plain sender handle; a poisoned lock cannot
+        // leave it inconsistent, so recover and keep serving.
+        self.tx.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     fn join(&mut self) {
-        drop(self.tx.take());
+        drop(self.sender().take());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -338,7 +368,7 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(graph: &ServeGraph, rx: &Mutex<mpsc::Receiver<Job>>) {
+fn worker_loop(graph: &ServeGraph, rx: &Mutex<mpsc::Receiver<Job>>, closed: &AtomicBool) {
     loop {
         // Hold the queue lock only for the dequeue, never during execution.
         let job = {
@@ -350,11 +380,39 @@ fn worker_loop(graph: &ServeGraph, rx: &Mutex<mpsc::Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
+                let result = if closed.load(Ordering::Acquire) {
+                    // Abortive close: drain queued jobs without executing them.
+                    Err(LiveError::ServerClosed)
+                } else {
+                    contained(graph, job.request)
+                };
                 // A send error means the client dropped its ticket; fine.
-                let _ = job.reply.send(handle(graph, job.request));
+                let _ = job.reply.send(result);
             }
             Err(mpsc::RecvError) => return, // server shut down
         }
+    }
+}
+
+/// Executes one request with panic containment: a panicking execution becomes
+/// [`LiveError::WorkerPanicked`] on the requester's ticket and the worker
+/// thread survives to serve the next job.
+fn contained(graph: &ServeGraph, request: Request) -> Result<Response, LiveError> {
+    // `handle` only reads the shared graph (snapshots are immutable and the
+    // writer mutex recovers from poisoning), so unwinding cannot leave shared
+    // state torn — the unwind-safety assertion is sound.
+    panic::catch_unwind(AssertUnwindSafe(|| handle(graph, request)))
+        .unwrap_or_else(|payload| Err(LiveError::WorkerPanicked(panic_message(&payload))))
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 

@@ -1,0 +1,136 @@
+//! Deterministic fault-handling tests for the query server: worker-panic
+//! containment, abortive close, and graceful shutdown draining.
+//!
+//! The panic tests submit a request whose execution panics *deterministically*
+//! in every build profile: the plan smuggles a `Bind` inside a closure body,
+//! which the debug-mode plan audit rejects up front and the release-mode
+//! closure evaluator refuses with an `unreachable!` — either way the worker
+//! thread unwinds and the server must contain it.
+
+use std::sync::Arc;
+
+use engine::plan::{ClosureOp, ClosureStep, MicroOp};
+use engine::{compile, AnswerMode, ExecutionOptions};
+use live::serve::{Request, ServeGraph, Server};
+use live::LiveError;
+use tgraph::{Batch, Interval, Itpg};
+
+fn iv(a: u64, b: u64) -> Interval {
+    Interval::of(a, b)
+}
+
+const HEALTHY: &str = "MATCH (x:Person) ON live";
+
+fn populated_graph() -> Arc<ServeGraph> {
+    let graph =
+        Arc::new(ServeGraph::with_options(Itpg::empty(iv(1, 10)), ExecutionOptions::sequential()));
+    let mut batch = Batch::new(1);
+    batch.add_node("ann", "Person").add_existence("ann", iv(1, 9));
+    graph.ingest(&batch).unwrap();
+    graph
+}
+
+fn healthy_request() -> Request {
+    Request::AdHoc { text: HEALTHY.into(), mode: AnswerMode::Materialized }
+}
+
+/// A pre-compiled request whose execution panics deterministically (see the
+/// module docs).  It must reach the server as `Request::Compiled`: the parser
+/// and compiler can never produce this shape, which is exactly why the
+/// executor treats it as a hard internal error.
+fn panicking_request() -> Request {
+    let mut plan = compile(&trpq::parser::parse_match(HEALTHY).unwrap()).unwrap();
+    let bad = ClosureOp {
+        alternatives: vec![vec![ClosureStep::Micro(MicroOp::Bind(0))]],
+        min: 1,
+        max: Some(1),
+    };
+    plan.plans[0].segments[0].ops.push(MicroOp::Closure(bad));
+    Request::Compiled { plan: Arc::new(plan), mode: AnswerMode::Materialized }
+}
+
+#[test]
+fn a_panicking_request_is_contained_and_the_worker_survives() {
+    let graph = populated_graph();
+    let server = Server::start(Arc::clone(&graph), 1);
+    let err = server.submit(panicking_request()).wait().unwrap_err();
+    let LiveError::WorkerPanicked(message) = err else {
+        panic!("expected WorkerPanicked, got: {err:?}");
+    };
+    assert!(!message.is_empty(), "the panic payload is carried to the requester");
+    // One worker only: the very thread that just unwound must serve this.
+    let response = server.submit(healthy_request()).wait().unwrap();
+    assert!(!response.answer.rows().unwrap().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn panicking_requests_do_not_take_down_neighbours() {
+    let graph = populated_graph();
+    let server = Server::start(Arc::clone(&graph), 2);
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                server.submit(panicking_request())
+            } else {
+                server.submit(healthy_request())
+            }
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.wait();
+        if i % 2 == 0 {
+            assert!(matches!(result, Err(LiveError::WorkerPanicked(_))), "ticket {i}: {result:?}");
+        } else {
+            let response = result.unwrap_or_else(|e| panic!("ticket {i} failed: {e}"));
+            assert!(!response.answer.rows().unwrap().is_empty());
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn close_fails_subsequent_submissions_fast() {
+    let graph = populated_graph();
+    let server = Server::start(Arc::clone(&graph), 2);
+    assert!(!server.is_closed());
+    server.close();
+    assert!(server.is_closed());
+    for _ in 0..3 {
+        assert_eq!(server.submit(healthy_request()).wait().unwrap_err(), LiveError::ServerClosed);
+    }
+    // `close` is idempotent, and shutdown still joins cleanly afterwards.
+    server.close();
+    server.shutdown();
+}
+
+#[test]
+fn every_ticket_resolves_across_an_abortive_close() {
+    let graph = populated_graph();
+    let server = Server::start(Arc::clone(&graph), 1);
+    let before: Vec<_> = (0..8).map(|_| server.submit(healthy_request())).collect();
+    server.close();
+    let after = server.submit(healthy_request());
+    // Tickets submitted before the close either executed already or are
+    // drained as ServerClosed — none may hang or be dropped silently.
+    for (i, ticket) in before.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(response) => assert!(!response.answer.rows().unwrap().is_empty()),
+            Err(LiveError::ServerClosed) => {}
+            Err(other) => panic!("ticket {i}: unexpected error {other:?}"),
+        }
+    }
+    assert_eq!(after.wait().unwrap_err(), LiveError::ServerClosed);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_queue() {
+    let graph = populated_graph();
+    let server = Server::start(Arc::clone(&graph), 1);
+    let tickets: Vec<_> = (0..4).map(|_| server.submit(healthy_request())).collect();
+    server.shutdown();
+    for ticket in tickets {
+        assert!(!ticket.wait().unwrap().answer.rows().unwrap().is_empty());
+    }
+}
