@@ -36,8 +36,8 @@ use std::time::Instant;
 
 use bench::json::Json;
 use engine::{
-    execute, execute_answers, AnswerMode, Binding, CompactAnswers, ExecutionOptions,
-    GraphRelations, JoinStrategy, PlanSet, Query,
+    analyze, compile, execute, execute_answers, AnswerMode, Binding, CompactAnswers,
+    ExecutionOptions, GraphRelations, JoinStrategy, PlanSet, Query, SchemaSummary,
 };
 use live::serve::{Request, ServeGraph, Server};
 use live::LiveGraph;
@@ -490,6 +490,36 @@ fn main() -> ExitCode {
             report.generate_seconds,
             report.load_seconds
         );
+        // The semantic analyzer/optimizer pass, measured once per query and
+        // scale: schema summarisation is shared, the per-plan abstract
+        // interpretation is per query.  The same pass runs inside every
+        // execution below (options.optimize defaults to true), so this is the
+        // per-query planning overhead the optimizer adds.
+        let schema_start = Instant::now();
+        let schema = SchemaSummary::of(&graph);
+        let schema_seconds = schema_start.elapsed().as_secs_f64();
+        println!("# {scale_name}: schema summary {schema_seconds:.4}s");
+        let mut analyses: BTreeMap<&'static str, (f64, u64, u64, u64)> = BTreeMap::new();
+        for (query_name, clause) in &queries {
+            let plan_set = compile(clause).expect("harness queries compile");
+            let analyze_start = Instant::now();
+            let analysis = analyze(&plan_set, &schema);
+            let analyze_seconds = analyze_start.elapsed().as_secs_f64();
+            println!(
+                "ANALYZE {scale_name} {query_name}: {analyze_seconds:.6}s, \
+                 {} plan(s) pruned, {} alternative(s) pruned, {} closure window(s) tightened",
+                analysis.pruned_plans, analysis.pruned_alternatives, analysis.tightened_closures,
+            );
+            analyses.insert(
+                *query_name,
+                (
+                    analyze_seconds,
+                    analysis.pruned_plans as u64,
+                    analysis.pruned_alternatives as u64,
+                    analysis.tightened_closures as u64,
+                ),
+            );
+        }
         for &threads in &args.threads {
             for (query_name, clause) in &queries {
                 for strategy in JoinStrategy::ALL {
@@ -520,6 +550,10 @@ fn main() -> ExitCode {
                         ("total_seconds", Json::Float(m.total_seconds)),
                         ("interval_rows", Json::UInt(m.interval_rows as u64)),
                         ("output_rows", Json::UInt(m.output_size as u64)),
+                        ("analyze_seconds", Json::Float(analyses[query_name].0)),
+                        ("pruned_plans", Json::UInt(analyses[query_name].1)),
+                        ("pruned_alternatives", Json::UInt(analyses[query_name].2)),
+                        ("tightened_closures", Json::UInt(analyses[query_name].3)),
                     ]));
                 }
             }
@@ -698,7 +732,7 @@ fn main() -> ExitCode {
         .map(|d| Json::UInt(d.as_secs()))
         .unwrap_or(Json::Null);
     let report = Json::obj([
-        ("schema_version", Json::UInt(4)),
+        ("schema_version", Json::UInt(5)),
         ("label", Json::str(args.label.clone())),
         ("created_unix", created_unix),
         ("smoke", Json::Bool(args.smoke)),

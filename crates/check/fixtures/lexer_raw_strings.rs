@@ -1,0 +1,21 @@
+// Lexer fixture: every lint-trigger substring below lives inside a string
+// literal — raw, raw-hashed, byte-raw, C, or raw-C — so after blanking, *no*
+// lint may fire on this file.  Before the C-string arms were added to
+// `lexer::blank`, the `cr#"…"#` literal was lexed as a plain string: its inner
+// `"` terminated the literal early and the trailing `.unwrap()` / `.lock()`
+// text leaked into the blanked output as lintable code.
+pub fn raw_string_literals_are_not_code() -> Vec<&'static str> {
+    vec![
+        r".unwrap() inside a plain raw string",
+        r#"has "quotes" and then .unwrap() and .lock() inside raw-hashed"#,
+        r"std::time::Instant::now() named in a raw string",
+    ]
+}
+
+pub fn byte_and_c_string_literals_are_not_code() -> (&'static [u8], &'static core::ffi::CStr) {
+    let bytes: &[u8] = br#"a "quoted" .expect(leak) inside a byte raw string"#;
+    let c_plain = c"a C string mentioning .unwrap()";
+    let c_raw = cr#"a raw C string with "quotes" then .unwrap().lock() after them"#;
+    let _ = c_plain;
+    (bytes, c_raw)
+}

@@ -18,6 +18,7 @@ mod lexer;
 mod lints;
 mod plans;
 mod selftest;
+mod semantic;
 mod walk;
 
 use std::path::{Path, PathBuf};
@@ -26,7 +27,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut run_workspace = false;
     let mut run_plans = false;
+    let mut run_semantic = false;
     let mut run_self_test = false;
+    let mut strict = false;
     let mut root_override: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -34,7 +37,9 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--workspace" => run_workspace = true,
             "--plans" => run_plans = true,
+            "--semantic" => run_semantic = true,
             "--self-test" => run_self_test = true,
+            "--strict" => strict = true,
             "--workspace-root" => match args.next() {
                 Some(path) => root_override = Some(PathBuf::from(path)),
                 None => {
@@ -52,7 +57,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !run_workspace && !run_plans && !run_self_test {
+    if !run_workspace && !run_plans && !run_semantic && !run_self_test {
         run_workspace = true;
     }
 
@@ -69,10 +74,13 @@ fn main() -> ExitCode {
         failed |= !selftest::run(&root);
     }
     if run_workspace {
-        failed |= !run_workspace_lints(&root);
+        failed |= !run_workspace_lints(&root, strict);
     }
     if run_plans {
         failed |= !plans::run();
+    }
+    if run_semantic {
+        failed |= !semantic::run();
     }
     if failed {
         ExitCode::FAILURE
@@ -84,8 +92,12 @@ fn main() -> ExitCode {
 fn print_help() {
     println!("check — workspace static analysis for repo-specific invariants");
     println!();
-    println!("usage: cargo run -p check [--workspace] [--plans] [--self-test]");
-    println!("                          [--workspace-root <path>]");
+    println!("usage: cargo run -p check [--workspace] [--plans] [--semantic] [--self-test]");
+    println!("                          [--strict] [--workspace-root <path>]");
+    println!();
+    println!("  --semantic  run the engine's semantic plan analyzer over the built-in");
+    println!("              benchmark plans (emptiness, dead alternatives, band feasibility)");
+    println!("  --strict    treat unused allow.list entries as failures, not warnings");
     println!();
     println!("lints (deny-by-default; exceptions live in crates/check/allow.list):");
     for lint in lints::all() {
@@ -117,8 +129,10 @@ fn workspace_root() -> Result<PathBuf, String> {
     }
 }
 
-/// The `--workspace` mode.  Returns true on success.
-fn run_workspace_lints(root: &Path) -> bool {
+/// The `--workspace` mode.  Returns true on success.  Under `--strict`, an
+/// unused allow.list entry is a failure (the allowlist must not rot), not a
+/// warning.
+fn run_workspace_lints(root: &Path, strict: bool) -> bool {
     let lints = lints::all();
     let files = walk::rust_files(root);
     let mut allowlist = match allow::Allowlist::load(&root.join("crates/check/allow.list")) {
@@ -157,12 +171,19 @@ fn run_workspace_lints(root: &Path) -> bool {
             }
         }
     }
+    let mut unused_entries = 0usize;
     for entry in allowlist.unused() {
+        unused_entries += 1;
         let reason = if entry.reason.is_empty() { "no reason given" } else { &entry.reason };
+        let level = if strict { "error" } else { "warning" };
         eprintln!(
-            "check: warning: unused allow.list entry `{} {}` ({reason}) — remove it or fix the path",
+            "check: {level}: unused allow.list entry `{} {}` ({reason}) — remove it or fix the path",
             entry.lint, entry.path
         );
+    }
+    if strict && unused_entries > 0 {
+        eprintln!("check: --strict: {unused_entries} unused allow.list entr(ies) must be removed");
+        return false;
     }
     if violations == 0 {
         println!(

@@ -51,6 +51,7 @@ pub fn run(root: &Path) -> bool {
         }
     }
     ok &= plan_audit_rejects_broken_plan();
+    ok &= crate::semantic::self_test();
     ok
 }
 

@@ -163,19 +163,16 @@ fn compile_regex_item(item: &RegexItem, variables: &[String]) -> Result<Vec<Vec<
     let Some((min, max)) = item.repeat else {
         return compile_regex_atom(&item.atom, variables);
     };
-    // Unsatisfiable indicators (`n > m`, e.g. NEXT[3,1]) relate nothing: the whole
-    // concatenation containing them is empty, so the alternative is dropped
-    // (returning zero alternatives), matching the reference evaluators.
-    if max.is_some_and(|m| m < min) {
-        return Ok(Vec::new());
-    }
-    // Degenerate indicators are semantically transparent: p[0,0] is the empty path
-    // (zero repetitions, the identity) and p[1,1] is p itself.
-    if (min, max) == (0, Some(0)) {
-        return Ok(vec![Vec::new()]);
-    }
-    if (min, max) == (1, Some(1)) {
-        return compile_regex_atom(&item.atom, variables);
+    // Constant-fold the indicator (shared classification with the semantic
+    // analyzer, see `trpq::indicator`): an unsatisfiable `n > m` relates nothing,
+    // so the whole concatenation containing it is empty (zero alternatives,
+    // matching the reference evaluators); `[0,0]` is the zero-repetition identity
+    // and `[1,1]` is the body itself.
+    match trpq::classify_repeat(min, max) {
+        trpq::RepeatClass::Unsatisfiable => return Ok(Vec::new()),
+        trpq::RepeatClass::Identity => return Ok(vec![Vec::new()]),
+        trpq::RepeatClass::Once => return compile_regex_atom(&item.atom, variables),
+        trpq::RepeatClass::Range => {}
     }
     match &item.atom {
         // A repeated temporal axis walks through existing states of the same object:

@@ -38,6 +38,12 @@ pub struct ExecutionOptions {
     /// answers: a materialised table, compact per-pair interval sets, or a lazy
     /// enumeration cursor.  [`execute`] always materialises and ignores this knob.
     pub answer_mode: AnswerMode,
+    /// Whether the semantic optimizer pass ([`crate::plan::analyze`]) runs before
+    /// execution: statically-empty plans are dropped, dead closure alternatives
+    /// pruned and closure `[n, m]` windows tightened against the graph schema.
+    /// On by default; the rewrites are output-equivalent by construction (pinned
+    /// by the property tests in `tests/plan_optimizer.rs`).
+    pub optimize: bool,
 }
 
 impl Default for ExecutionOptions {
@@ -46,6 +52,7 @@ impl Default for ExecutionOptions {
             parallelism: Parallelism::available(),
             join_strategy: JoinStrategy::Auto,
             answer_mode: AnswerMode::Materialized,
+            optimize: true,
         }
     }
 }
@@ -70,6 +77,12 @@ impl ExecutionOptions {
     /// Selects the answer mode for [`execute_answers`].
     pub fn with_mode(mut self, mode: AnswerMode) -> Self {
         self.answer_mode = mode;
+        self
+    }
+
+    /// Enables or disables the semantic optimizer pass.
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
         self
     }
 }
@@ -105,6 +118,21 @@ pub struct QueryOutput {
     pub table: BindingTable,
     /// Timing and cardinality measurements.
     pub stats: QueryStats,
+}
+
+/// The plan set a query actually runs: the semantic optimizer's rewrite when
+/// [`ExecutionOptions::optimize`] is on (the default), the compiled plans verbatim
+/// otherwise.
+fn effective_plan_set<'a>(
+    plan_set: &'a PlanSet,
+    graph: &GraphRelations,
+    options: &ExecutionOptions,
+) -> std::borrow::Cow<'a, PlanSet> {
+    if options.optimize {
+        std::borrow::Cow::Owned(crate::plan::analyze::optimized_for(plan_set, graph))
+    } else {
+        std::borrow::Cow::Borrowed(plan_set)
+    }
 }
 
 /// The join strategy in effect for one execution: the options take precedence unless
@@ -212,6 +240,8 @@ pub fn execute(
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> QueryOutput {
+    let plan_set = effective_plan_set(plan_set, graph, options);
+    let plan_set = plan_set.as_ref();
     let strategy = effective_strategy(plan_set, options);
     let phase = run_interval_phase(plan_set, graph, options, strategy);
     let table = materialize(plan_set, options, strategy, &phase.per_plan_chains);
@@ -227,6 +257,8 @@ pub fn execute_answers(
     graph: &GraphRelations,
     options: &ExecutionOptions,
 ) -> Answers {
+    let plan_set = effective_plan_set(plan_set, graph, options);
+    let plan_set = plan_set.as_ref();
     let strategy = effective_strategy(plan_set, options);
     let phase = run_interval_phase(plan_set, graph, options, strategy);
     match options.answer_mode {

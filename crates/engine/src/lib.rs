@@ -60,6 +60,10 @@ pub use executor::{
 };
 #[allow(deprecated)]
 pub use executor::{execute_clause, execute_query, execute_text};
+pub use plan::analyze::{
+    analyze, optimized_for, static_bounds, Analysis, Diagnostic, DiagnosticKind, PlanBounds,
+    SchemaSummary, Severity,
+};
 pub use plan::audit::{audit, audit_plan, AuditError, AuditIssue, AuditReport};
 pub use plan::{
     ClosureOp, ClosureStep, EnginePlan, HopDirection, MicroOp, ObjFilter, PlanSet, Segment, Shift,

@@ -11,6 +11,7 @@ use dataflow::JoinStrategy;
 use tgraph::{Interval, Time, Value};
 use trpq::parser::{CmpOp, Constraint};
 
+pub mod analyze;
 pub mod audit;
 
 /// Direction of a single structural hop within a snapshot.

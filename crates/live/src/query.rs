@@ -12,7 +12,7 @@ use engine::plan::{EnginePlan, PlanSet};
 use engine::steps::expand::expand_chains;
 use engine::steps::StepStats;
 use engine::{run_plan_seeded, GraphRelations, JoinStrategy};
-use tgraph::{Itpg, NodeId, Object};
+use tgraph::{Interval, Itpg, NodeId, Object};
 
 /// Handle to a query registered on a [`crate::LiveGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,14 +48,29 @@ pub struct RefreshStats {
 /// One plan alternative's cached results.
 #[derive(Debug, Clone)]
 struct PlanCache {
-    /// `Some(h)`: the plan performs exactly `h` structural hops and no closure —
-    /// delta seeding is exact.  `None`: the plan contains a closure fixpoint and
-    /// refreshes fall back to a full recompute.
-    hops: Option<usize>,
+    /// Static execution bounds of the (immutable) plan, computed once at
+    /// registration by the semantic analyzer ([`engine::static_bounds`]) rather
+    /// than re-derived on every refresh.  `max_hops` decides the refresh path:
+    /// a bounded plan is delta-seeded from the affected neighbourhood, an
+    /// unbounded one falls back to a full recompute.
+    bounds: engine::PlanBounds,
+    /// The domain `bounds` was computed against.  The closure iteration bound
+    /// depends on the domain span, so a delta that widens the domain
+    /// invalidates the cached bounds (they are recomputed on the next
+    /// refresh); any other delta leaves them valid forever.
+    bounds_domain: Interval,
     /// Expanded binding rows grouped by seed node (incremental plans).
     by_seed: BTreeMap<u32, Vec<Vec<Binding>>>,
     /// Expanded binding rows of the whole plan (fallback plans).
     full: Vec<Vec<Binding>>,
+}
+
+/// The hop radius delta seeding may rely on, if any: the analyzer's bound,
+/// capped by the audit's [`engine::plan::audit::MAX_STATIC_HOPS`] so a huge
+/// (technically finite) bound cannot turn one refresh into a whole-graph
+/// breadth-first sweep that costs more than the full recompute it avoids.
+fn seeding_hops(bounds: &engine::PlanBounds) -> Option<usize> {
+    bounds.max_hops.filter(|&h| h <= engine::plan::audit::MAX_STATIC_HOPS)
 }
 
 /// A registered query: its compiled plan set plus the maintained answer.
@@ -87,10 +102,15 @@ impl QueryState {
         let seeds = graph.seed_rows();
         let mut plans = Vec::with_capacity(plan_set.plans.len());
         for plan in &plan_set.plans {
-            let hops = plan_hop_depth(plan);
+            let bounds = engine::static_bounds(plan, graph.domain());
             let chains = run_plan_seeded(plan, graph, &seeds, parallelism, strategy, &step_stats);
-            let mut cache = PlanCache { hops, by_seed: BTreeMap::new(), full: Vec::new() };
-            match hops {
+            let mut cache = PlanCache {
+                bounds,
+                bounds_domain: graph.domain(),
+                by_seed: BTreeMap::new(),
+                full: Vec::new(),
+            };
+            match seeding_hops(&bounds) {
                 Some(_) => {
                     for (node, group) in group_by_seed_node(graph, chains) {
                         let rows = expand_group(plan, &plan_set.variables, num_slots, &group);
@@ -153,11 +173,21 @@ impl QueryState {
         let step_stats = StepStats::default();
         let num_slots = self.plan_set.variables.len();
         for (plan, cache) in self.plan_set.plans.iter().zip(&mut self.plans) {
-            match cache.hops {
+            if cache.bounds_domain != graph.domain() {
+                // The domain widened since the bounds were cached; the closure
+                // iteration bound scales with the domain span, so refresh it.
+                cache.bounds = engine::static_bounds(plan, graph.domain());
+                cache.bounds_domain = graph.domain();
+            }
+            match seeding_hops(&cache.bounds) {
                 None => {
-                    // Conservative fallback: the closure's reach is unbounded,
-                    // so recompute this alternative from every live seed.
+                    // Conservative fallback: the closure's reach is unbounded
+                    // (or the bound exceeds the sweep cap), so recompute this
+                    // alternative from every live seed.  A widening domain can
+                    // push a previously-bounded plan onto this path, so the
+                    // per-seed cache is superseded wholesale.
                     stats.fallback_full = true;
+                    cache.by_seed.clear();
                     let chains = run_plan_seeded(
                         plan,
                         graph,
@@ -222,16 +252,6 @@ impl QueryState {
         table.sort_dedup();
         table
     }
-}
-
-/// The number of structural hops a plan performs, or `None` if the plan contains
-/// a closure fixpoint (whose reach is not statically bounded).
-///
-/// Delegates to the static plan analyzer: the hop bound the refresh sweep
-/// relies on is exactly the one [`engine::plan::audit`] certifies (and bounds
-/// by `MAX_STATIC_HOPS`) for every audited plan.
-fn plan_hop_depth(plan: &EnginePlan) -> Option<usize> {
-    engine::plan::audit::hop_depth(plan)
 }
 
 /// Groups chains by the node their seed row belongs to.
@@ -333,30 +353,46 @@ mod tests {
     use engine::plan::{HopDirection, MicroOp, ObjFilter, Segment, Shift, TemporalLink};
 
     #[test]
-    fn hop_depth_counts_hops_and_rejects_closures() {
+    fn cached_bounds_pick_the_refresh_path() {
+        let domain = Interval::of(0, 10);
         let hop = MicroOp::Hop(HopDirection::Forward);
         let filter = MicroOp::Filter(ObjFilter::default());
         let plain = EnginePlan {
             segments: vec![Segment { ops: vec![filter.clone(), hop.clone(), hop.clone()] }],
             links: vec![],
         };
-        assert_eq!(plan_hop_depth(&plain), Some(2));
+        assert_eq!(seeding_hops(&engine::static_bounds(&plain, domain)), Some(2));
         let shifted = EnginePlan {
             segments: vec![Segment { ops: vec![hop.clone()] }, Segment { ops: vec![hop.clone()] }],
             links: vec![TemporalLink::Shift(Shift { forward: true, min: 0, max: None })],
         };
-        assert_eq!(plan_hop_depth(&shifted), Some(2));
+        assert_eq!(seeding_hops(&engine::static_bounds(&shifted, domain)), Some(2));
+        // An unbounded structural closure keeps the conservative full path.
         let closure = engine::plan::ClosureOp::structural(vec![vec![hop.clone()]], 0, None);
         let with_closure = EnginePlan {
-            segments: vec![Segment { ops: vec![MicroOp::Closure(closure.clone())] }],
+            segments: vec![Segment { ops: vec![MicroOp::Closure(closure)] }],
             links: vec![],
         };
-        assert_eq!(plan_hop_depth(&with_closure), None);
+        assert_eq!(seeding_hops(&engine::static_bounds(&with_closure, domain)), None);
+        // A time-advancing closure is span-bounded — delta seeding applies...
+        let advancing = engine::plan::ClosureOp {
+            alternatives: vec![vec![
+                engine::plan::ClosureStep::Micro(hop.clone()),
+                engine::plan::ClosureStep::Micro(hop.clone()),
+                engine::plan::ClosureStep::Shift(Shift { forward: true, min: 1, max: Some(1) }),
+            ]],
+            min: 0,
+            max: None,
+        };
         let with_time_closure = EnginePlan {
             segments: vec![Segment::default(), Segment::default()],
-            links: vec![TemporalLink::Closure(closure)],
+            links: vec![TemporalLink::Closure(advancing.clone())],
         };
-        assert_eq!(plan_hop_depth(&with_time_closure), None);
+        assert_eq!(seeding_hops(&engine::static_bounds(&with_time_closure, domain)), Some(20));
+        // ...until the domain is so wide that the sweep would dwarf the
+        // recompute it replaces.
+        let wide = Interval::of(0, 100_000);
+        assert_eq!(seeding_hops(&engine::static_bounds(&with_time_closure, wide)), None);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Constant-folding of numerical occurrence indicators `[n, m]`.
+//!
+//! The practical language and the compiled plans both carry repetition bounds
+//! `path[n, m]` / `path[n, _]` (grammar (2) of the paper).  A handful of shapes
+//! can be normalised away before any evaluation happens, and several passes
+//! need the same case analysis: the plan compiler (to avoid emitting dead
+//! operators), the semantic plan analyzer (emptiness diagnostics), and the
+//! optimizer (tightening windows).  This module is the single shared
+//! classification so the passes cannot drift apart.
+
+/// The statically-determined shape of an occurrence indicator `[n, m]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepeatClass {
+    /// `n > m`: no repetition count satisfies the indicator, so the enclosing
+    /// alternative denotes the empty relation.
+    Unsatisfiable,
+    /// `[0, 0]`: zero iterations — the repetition is the identity relation.
+    Identity,
+    /// `[1, 1]`: exactly one iteration — the repetition is just its body.
+    Once,
+    /// A genuine range (`n < m`, or an unbounded `[n, _]`).
+    Range,
+}
+
+/// Classifies the indicator `[min, max]` (`max = None` meaning `[min, _]`).
+pub fn classify_repeat(min: u32, max: Option<u32>) -> RepeatClass {
+    match max {
+        Some(m) if m < min => RepeatClass::Unsatisfiable,
+        Some(0) => RepeatClass::Identity,
+        Some(1) if min == 1 => RepeatClass::Once,
+        _ => RepeatClass::Range,
+    }
+}
+
+/// The number of iteration counts admitted by `[min, max]`, or `None` when the
+/// indicator is unbounded.  `Some(0)` means unsatisfiable.
+pub fn repeat_width(min: u32, max: Option<u32>) -> Option<u64> {
+    match max {
+        None => None,
+        Some(m) if m < min => Some(0),
+        Some(m) => Some(u64::from(m - min) + 1),
+    }
+}
+
+/// Intersects two indicator windows: the result admits exactly the iteration
+/// counts admitted by both.  Returns `None` when the intersection is empty.
+pub fn intersect_repeat(
+    a: (u32, Option<u32>),
+    b: (u32, Option<u32>),
+) -> Option<(u32, Option<u32>)> {
+    let min = a.0.max(b.0);
+    let max = match (a.1, b.1) {
+        (None, m) | (m, None) => m,
+        (Some(x), Some(y)) => Some(x.min(y)),
+    };
+    if max.is_some_and(|m| m < min) {
+        None
+    } else {
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_paper_identities() {
+        assert_eq!(classify_repeat(3, Some(2)), RepeatClass::Unsatisfiable);
+        assert_eq!(classify_repeat(0, Some(0)), RepeatClass::Identity);
+        assert_eq!(classify_repeat(1, Some(1)), RepeatClass::Once);
+        assert_eq!(classify_repeat(0, Some(1)), RepeatClass::Range);
+        assert_eq!(classify_repeat(0, None), RepeatClass::Range);
+        assert_eq!(classify_repeat(2, None), RepeatClass::Range);
+        // [0, 0] beats the n > m arm only when satisfiable: [1, 0] is empty.
+        assert_eq!(classify_repeat(1, Some(0)), RepeatClass::Unsatisfiable);
+    }
+
+    #[test]
+    fn repeat_width_counts_admitted_iterations() {
+        assert_eq!(repeat_width(0, Some(0)), Some(1));
+        assert_eq!(repeat_width(2, Some(5)), Some(4));
+        assert_eq!(repeat_width(3, Some(2)), Some(0));
+        assert_eq!(repeat_width(0, None), None);
+    }
+
+    #[test]
+    fn intersect_repeat_meets_windows() {
+        assert_eq!(intersect_repeat((0, None), (2, Some(5))), Some((2, Some(5))));
+        assert_eq!(intersect_repeat((1, Some(3)), (2, Some(8))), Some((2, Some(3))));
+        assert_eq!(intersect_repeat((4, Some(6)), (0, Some(3))), None);
+        assert_eq!(intersect_repeat((1, None), (2, None)), Some((2, None)));
+    }
+}

@@ -37,6 +37,7 @@ pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod fragment;
+pub mod indicator;
 pub mod parser;
 pub mod queries;
 pub mod rewrite;
@@ -44,5 +45,6 @@ pub mod rewrite;
 pub use ast::{Axis, Path, TestExpr};
 pub use error::{QueryError, Result};
 pub use fragment::{classify, Complexity, Fragment};
+pub use indicator::{classify_repeat, intersect_repeat, repeat_width, RepeatClass};
 pub use parser::{parse_match, Constraint, EdgePattern, MatchClause, NodePattern, PatternPart};
 pub use rewrite::{rewrite_match, RewrittenQuery, Variable};

@@ -1,0 +1,213 @@
+//! Property tests pinning the semantic optimizer's defining invariant:
+//! **optimized ≡ unoptimized**.  The pass (`engine::plan::analyze`) may drop
+//! statically-empty plans, prune dead closure alternatives, and tighten
+//! closure `[n, m]` windows — but on the graph its schema summary came from,
+//! the rewritten plan set must produce byte-identical answers in every answer
+//! mode (materialised table, enumeration cursor, compact intervals) and under
+//! every join strategy, for all benchmark queries Q1–Q12 plus the REACH /
+//! RECUR closure workloads, on randomly generated ITPGs.
+//!
+//! Alongside the equivalence, the analyzer's cardinality claim is pinned: the
+//! `PlanBounds::max_rows` upper bound must dominate the actual Step-1/2
+//! interval row count.
+
+use proptest::prelude::*;
+
+use engine::{
+    analyze, AnswerMode, Binding, DiagnosticKind, ExecutionOptions, GraphRelations, JoinStrategy,
+    Query, SchemaSummary,
+};
+use tgraph::{Interval, IntervalSet, Itpg, ItpgBuilder, Time};
+use trpq::queries::QueryId;
+
+const MAX_TIME: Time = 7;
+
+/// The closure workloads of the perf harness (`bench::REACH_QUERY_TEXT` /
+/// `RECUR_QUERY_TEXT`): REACH exercises the unbounded structural star the
+/// optimizer must leave alone, RECUR the time-advancing closure whose window
+/// it tightens to the domain span.
+const REACH: &str =
+    "MATCH (x:Person {risk = 'high'})-/(FWD/:meets/FWD)*/-(y:Person) ON contact_tracing";
+const RECUR: &str = "MATCH (x:Person {risk = 'high'})\
+                     -/(FWD/:meets/FWD/NEXT)*/NEXT*/-({test = 'pos'}) ON contact_tracing";
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0..=MAX_TIME, 0..=3u64)
+        .prop_map(|(start, len)| Interval::of(start, (start + len).min(MAX_TIME)))
+}
+
+/// A compact description of a random temporal graph: per node its existence
+/// intervals, a high-risk flag, and a positive-test flag; per edge the
+/// endpoints, a desired interval, and the label choice.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    nodes: Vec<(Vec<Interval>, bool, bool)>,
+    edges: Vec<(usize, usize, Interval, u8)>,
+}
+
+fn graph_spec_strategy() -> impl Strategy<Value = GraphSpec> {
+    let nodes = prop::collection::vec(
+        (prop::collection::vec(interval_strategy(), 1..3), any::<bool>(), any::<bool>()),
+        2..5,
+    );
+    let edges = prop::collection::vec((0..4usize, 0..4usize, interval_strategy(), 0..2u8), 0..6);
+    (nodes, edges).prop_map(|(nodes, edges)| GraphSpec { nodes, edges })
+}
+
+fn build_graph(spec: &GraphSpec) -> Itpg {
+    let mut b = ItpgBuilder::new().domain(Interval::of(0, MAX_TIME));
+    let mut node_ids = Vec::new();
+    for (i, (intervals, high, positive)) in spec.nodes.iter().enumerate() {
+        let label = if i % 3 == 2 { "Room" } else { "Person" };
+        let id = b.add_node(&format!("n{i}"), label).unwrap();
+        let mut existence = IntervalSet::empty();
+        for iv in intervals {
+            b.add_existence(id, *iv).unwrap();
+            existence.insert(*iv);
+        }
+        let risk = if *high { "high" } else { "low" };
+        for iv in existence.intervals() {
+            b.set_property(id, "risk", risk, *iv).unwrap();
+            if *positive {
+                b.set_property(id, "test", "pos", *iv).unwrap();
+            }
+        }
+        node_ids.push((id, existence));
+    }
+    let mut edge_count = 0usize;
+    for (src, tgt, desired, label_choice) in &spec.edges {
+        let (src_id, src_exist) = &node_ids[src % node_ids.len()];
+        let (tgt_id, tgt_exist) = &node_ids[tgt % node_ids.len()];
+        let joint = src_exist.intersection(tgt_exist);
+        let clamped = joint.clamp(desired);
+        if clamped.is_empty() {
+            continue;
+        }
+        let label = if *label_choice == 0 { "meets" } else { "visits" };
+        let id = b.add_edge(&format!("e{edge_count}"), label, *src_id, *tgt_id).unwrap();
+        edge_count += 1;
+        for iv in clamped.intervals() {
+            b.add_existence(id, *iv).unwrap();
+        }
+    }
+    b.build().expect("generated graphs are well formed by construction")
+}
+
+/// Runs one query with and without the optimizer pass in all three answer
+/// modes and asserts the outputs are identical.
+fn check_equivalence(query: &Query, graph: &GraphRelations, label: &str) {
+    let modes = |optimize: bool| {
+        let on = |mode: AnswerMode| {
+            query.clone().with_options(query.options().with_optimize(optimize).with_mode(mode))
+        };
+        let table = on(AnswerMode::Materialized)
+            .run(graph)
+            .into_table()
+            .expect("materialised mode returns a table");
+        let mut answers = on(AnswerMode::Enumerate).run(graph);
+        let streamed: Vec<Vec<Binding>> =
+            answers.cursor_mut().expect("enumerate mode returns a cursor").collect();
+        let compact_answers = on(AnswerMode::Compact).run(graph);
+        let compact = compact_answers.compact().expect("compact mode returns intervals").clone();
+        (table, streamed, compact)
+    };
+    let (table_opt, cursor_opt, compact_opt) = modes(true);
+    let (table_raw, cursor_raw, compact_raw) = modes(false);
+    assert_eq!(table_opt, table_raw, "{label}: materialised tables must agree");
+    assert_eq!(cursor_opt, cursor_raw, "{label}: cursor streams must agree");
+    assert_eq!(compact_opt, compact_raw, "{label}: compact answers must agree");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn optimized_equals_unoptimized_on_random_graphs(spec in graph_spec_strategy()) {
+        let graph = GraphRelations::from_itpg(&build_graph(&spec));
+        for strategy in JoinStrategy::ALL {
+            let options = ExecutionOptions::sequential().with_strategy(strategy);
+            for id in QueryId::ALL {
+                let query = Query::benchmark(id).with_options(options);
+                check_equivalence(&query, &graph, &format!("{} under {strategy}", id.name()));
+            }
+            for (name, text) in [("REACH", REACH), ("RECUR", RECUR)] {
+                let query = Query::parse(text)
+                    .expect("closure workloads compile")
+                    .with_options(options);
+                check_equivalence(&query, &graph, &format!("{name} under {strategy}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_bounds_dominate_actual_rows(spec in graph_spec_strategy()) {
+        let graph = GraphRelations::from_itpg(&build_graph(&spec));
+        let schema = SchemaSummary::of(&graph);
+        let options = ExecutionOptions::sequential().with_optimize(false);
+        for id in QueryId::ALL {
+            let plan_set = engine::queries::plan_for(id);
+            let analysis = analyze(&plan_set, &schema);
+            let budget: u128 = analysis
+                .bounds
+                .iter()
+                .fold(0u128, |acc, b| acc.saturating_add(b.max_rows));
+            let output = engine::execute(&plan_set, &graph, &options);
+            prop_assert!(
+                (output.stats.interval_rows as u128) <= budget,
+                "{}: {} interval rows exceed the analyzer's bound {}",
+                id.name(),
+                output.stats.interval_rows,
+                budget
+            );
+        }
+    }
+}
+
+/// A tiny fixed graph whose schema is fully known, for exercising each
+/// diagnostic kind through the public API.
+fn diagnostic_graph() -> GraphRelations {
+    let mut b = ItpgBuilder::new().domain(Interval::of(0, MAX_TIME));
+    let all = Interval::of(0, MAX_TIME);
+    let ann = b.add_node("ann", "Person").unwrap();
+    let bob = b.add_node("bob", "Person").unwrap();
+    let m = b.add_edge("m", "meets", ann, bob).unwrap();
+    b.add_existence(ann, all).unwrap();
+    b.add_existence(bob, all).unwrap();
+    b.add_existence(m, all).unwrap();
+    GraphRelations::from_itpg(&b.build().unwrap())
+}
+
+fn diagnose(text: &str) -> Vec<DiagnosticKind> {
+    let clause = trpq::parse_match(text).unwrap();
+    let plan_set = engine::compile(&clause).unwrap();
+    let analysis = analyze(&plan_set, &SchemaSummary::of(&diagnostic_graph()));
+    analysis.diagnostics.iter().map(|d| d.kind).collect()
+}
+
+#[test]
+fn empty_plan_diagnostic_fires_on_unknown_labels() {
+    assert!(diagnose("MATCH (x:Robot)-[e:meets]->(y) ON g").contains(&DiagnosticKind::EmptyPlan));
+}
+
+#[test]
+fn dead_alternative_diagnostic_fires_on_unmatchable_branches() {
+    let kinds = diagnose("MATCH (x:Person)-/(FWD/:meets/FWD + FWD/:warps/FWD)*/-(y:Person) ON g");
+    assert!(kinds.contains(&DiagnosticKind::DeadAlternative), "{kinds:?}");
+}
+
+#[test]
+fn infeasible_band_diagnostic_fires_on_overwide_shifts() {
+    let kinds = diagnose("MATCH (x:Person)-/NEXT[50,60]/-(y) ON g");
+    assert!(kinds.contains(&DiagnosticKind::InfeasibleBand), "{kinds:?}");
+}
+
+#[test]
+fn unbounded_closure_note_fires_on_structural_stars() {
+    let kinds = diagnose("MATCH (x:Person)-/(FWD/:meets/FWD)*/-(y:Person) ON g");
+    assert!(kinds.contains(&DiagnosticKind::UnboundedClosure), "{kinds:?}");
+}
+
+#[test]
+fn clean_queries_have_no_diagnostics_at_all() {
+    assert!(diagnose("MATCH (x:Person)-[e:meets]->(y:Person) ON g").is_empty());
+}
