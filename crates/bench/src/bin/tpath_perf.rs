@@ -239,6 +239,98 @@ fn run_answers_matrix(clause: &MatchClause, graph: &GraphRelations) -> Vec<Answe
     vec![full, lazy, pairs]
 }
 
+/// One telemetry-overhead cell: the same workload measured with the
+/// observability layer recording (spans, counters, histograms) and with it
+/// compiled to no-ops (`ExecutionOptions::telemetry = false`).
+struct TelemetryCell {
+    query: &'static str,
+    on_seconds: f64,
+    off_seconds: f64,
+}
+
+/// Measures every matrix query with telemetry on vs. off (threads = 1, auto
+/// strategy) — the overhead column that keeps the registry honest about
+/// "cheap enough to stay on in release builds".  Sub-millisecond queries are
+/// repeated until each measured batch spans at least ~5 ms, so the reported
+/// per-execution seconds (and the overhead percentage derived from them) are
+/// not clock-jitter noise.
+fn run_telemetry_matrix(
+    queries: &[(&'static str, MatchClause)],
+    graph: &GraphRelations,
+) -> Vec<TelemetryCell> {
+    const TARGET_BATCH_SECONDS: f64 = 0.005;
+    queries
+        .iter()
+        .map(|(name, clause)| {
+            let options = ExecutionOptions::with_threads(1);
+            let probe = bench::measure_clause(clause, graph, &options).total_seconds;
+            let reps = ((TARGET_BATCH_SECONDS / probe.max(1e-9)).ceil() as usize).clamp(1, 500);
+            let batch = |options: &ExecutionOptions| -> f64 {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let total: f64 = (0..reps)
+                        .map(|_| bench::measure_clause(clause, graph, options).total_seconds)
+                        .sum();
+                    best = best.min(total / reps as f64);
+                }
+                best
+            };
+            let on = batch(&options);
+            let off = batch(&options.with_telemetry(false));
+            TelemetryCell { query: name, on_seconds: on, off_seconds: off }
+        })
+        .collect()
+}
+
+/// Snapshots the process-wide metric registry into the report: every family
+/// with its kind and per-series values (histograms as count + scaled sum; the
+/// full bucket vectors stay behind `tpath-serve`'s scrape endpoint).
+fn registry_snapshot_json() -> Json {
+    let families = obs::global().snapshot();
+    Json::Arr(
+        families
+            .iter()
+            .map(|family| {
+                let series = family
+                    .series
+                    .iter()
+                    .map(|series| {
+                        let labels = Json::Obj(
+                            series
+                                .labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                                .collect(),
+                        );
+                        let mut entry = vec![("labels".to_owned(), labels)];
+                        match &series.value {
+                            obs::SeriesValue::Counter(v) => {
+                                entry.push(("value".to_owned(), Json::UInt(*v)));
+                            }
+                            obs::SeriesValue::Gauge(v) => {
+                                entry.push(("value".to_owned(), Json::Int(*v)));
+                            }
+                            obs::SeriesValue::Histogram(h) => {
+                                entry.push(("count".to_owned(), Json::UInt(h.count)));
+                                entry.push((
+                                    "sum".to_owned(),
+                                    Json::Float(h.sum as f64 * family.scale),
+                                ));
+                            }
+                        }
+                        Json::Obj(entry)
+                    })
+                    .collect();
+                Json::obj([
+                    ("name", Json::str(family.name.clone())),
+                    ("kind", Json::str(family.kind.as_str())),
+                    ("series", Json::Arr(series)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// The maintained queries of the LIVE matrix: a purely structural query, a
 /// structural join, a temporal query, and the REACH closure (which exercises the
 /// conservative full-recompute fallback).
@@ -478,6 +570,7 @@ fn main() -> ExitCode {
     let mut workloads: Vec<Json> = Vec::new();
     let mut row_counts: BTreeMap<Cell, Vec<(JoinStrategy, usize)>> = BTreeMap::new();
     let mut answers_entries: Vec<Json> = Vec::new();
+    let mut telemetry_entries: Vec<Json> = Vec::new();
     let mut answer_disagreements = 0usize;
     for (scale_name, config) in &scales {
         let (graph, report) = bench::build_graph_with(config.clone());
@@ -599,6 +692,25 @@ fn main() -> ExitCode {
                     ("agree", Json::Bool(cell.agree)),
                 ]));
             }
+        }
+
+        // The TELEMETRY column: every matrix query with the observability
+        // layer recording vs. compiled to no-ops.
+        for cell in run_telemetry_matrix(&queries, &graph) {
+            let overhead_pct =
+                (cell.on_seconds - cell.off_seconds) / cell.off_seconds.max(f64::EPSILON) * 100.0;
+            println!(
+                "TELEMETRY {scale_name} {}: on {:.4}s, off {:.4}s ({overhead_pct:+.1}%)",
+                cell.query, cell.on_seconds, cell.off_seconds
+            );
+            telemetry_entries.push(Json::obj([
+                ("scale", Json::str(scale_name.clone())),
+                ("query", Json::str(cell.query)),
+                ("threads", Json::UInt(1)),
+                ("telemetry_on_seconds", Json::Float(cell.on_seconds)),
+                ("telemetry_off_seconds", Json::Float(cell.off_seconds)),
+                ("overhead_pct", Json::Float(overhead_pct)),
+            ]));
         }
     }
 
@@ -732,7 +844,7 @@ fn main() -> ExitCode {
         .map(|d| Json::UInt(d.as_secs()))
         .unwrap_or(Json::Null);
     let report = Json::obj([
-        ("schema_version", Json::UInt(5)),
+        ("schema_version", Json::UInt(6)),
         ("label", Json::str(args.label.clone())),
         ("created_unix", created_unix),
         ("smoke", Json::Bool(args.smoke)),
@@ -760,6 +872,10 @@ fn main() -> ExitCode {
         ("live", Json::Arr(live_entries)),
         ("answers", Json::Arr(answers_entries)),
         ("serve", Json::Arr(serve_entries)),
+        ("telemetry", Json::Arr(telemetry_entries)),
+        // A snapshot of the process-wide metric registry after the whole run —
+        // the same counters `tpath-serve` exposes through `Request::Metrics`.
+        ("metrics", registry_snapshot_json()),
     ]);
 
     let path = format!("{}/BENCH_{}.json", args.out_dir.trim_end_matches('/'), args.label);

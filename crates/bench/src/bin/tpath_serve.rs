@@ -10,18 +10,28 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin tpath-serve -- \
-//!     [--persons N] [--time-points T] [--seed S] [--readers R] [--query TEXT]...
+//!     [--persons N] [--time-points T] [--seed S] [--readers R] [--query TEXT]... \
+//!     [--watch] [--dump-metrics PATH]
 //! ```
 //!
-//! * `--persons`     — workload size (default 200).
-//! * `--time-points` — temporal domain length (default 24).
-//! * `--seed`        — workload RNG seed (default the perf seed).
-//! * `--readers`     — worker threads / concurrent clients (default 4).
-//! * `--query`       — extra ad-hoc `MATCH …` text to serve alongside the
+//! * `--persons`      — workload size (default 200).
+//! * `--time-points`  — temporal domain length (default 24).
+//! * `--seed`         — workload RNG seed (default the perf seed).
+//! * `--readers`      — worker threads / concurrent clients (default 4).
+//! * `--query`        — extra ad-hoc `MATCH …` text to serve alongside the
 //!   registered set (repeatable; default none).
+//! * `--watch`        — periodically scrape [`Request::Metrics`] while serving
+//!   and print the counter/gauge lines (the live dashboard view).
+//! * `--dump-metrics` — write the final Prometheus scrape to a file.
 //!
 //! The registered set is Q1, Q5, Q9 and the REACH closure; the join strategy
 //! follows `TPATH_JOIN_STRATEGY` (`hash` | `merge` | `auto`, default `auto`).
+//!
+//! Besides verifying every answer, the binary scrapes its own metrics through
+//! the server (mid-ingest, so queries are genuinely in flight) and fails if
+//! the scrape does not cover the `tpath_engine_` / `tpath_live_` /
+//! `tpath_epoch_` / `tpath_serve_` families — a standalone end-to-end check
+//! of the observability layer.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,7 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use engine::{execute, execute_answers, AnswerMode, ExecutionOptions, PlanSet};
-use live::serve::{Request, ServeGraph, Server};
+use live::serve::{MetricsFormat, Request, ServeGraph, Server};
 use tgraph::{Interval, Itpg};
 use trpq::queries::QueryId;
 use workload::ContactTracingConfig;
@@ -43,11 +53,20 @@ struct Args {
     seed: u64,
     readers: usize,
     queries: Vec<String>,
+    watch: bool,
+    dump_metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { persons: 200, time_points: 24, seed: SERVE_SEED, readers: 4, queries: Vec::new() };
+    let mut args = Args {
+        persons: 200,
+        time_points: 24,
+        seed: SERVE_SEED,
+        readers: 4,
+        queries: Vec::new(),
+        watch: false,
+        dump_metrics: None,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
@@ -63,10 +82,12 @@ fn parse_args() -> Result<Args, String> {
                 args.readers = value("--readers")?.parse().map_err(|e| format!("{e}"))?
             }
             "--query" => args.queries.push(value("--query")?),
+            "--watch" => args.watch = true,
+            "--dump-metrics" => args.dump_metrics = Some(value("--dump-metrics")?),
             "--help" | "-h" => {
                 println!(
                     "tpath-serve [--persons N] [--time-points T] [--seed S] [--readers R] \
-                     [--query TEXT]..."
+                     [--query TEXT]... [--watch] [--dump-metrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -140,12 +161,50 @@ fn main() -> ExitCode {
         args.readers,
     );
 
+    // Warm-up: one compiled request proves the pool serves queries and seeds
+    // the engine metric families before the first scrape looks for them.
+    server
+        .submit(Request::Compiled { plan: Arc::clone(&plans[0]), mode: AnswerMode::Materialized })
+        .wait()
+        .expect("warm-up request");
+
     let done = AtomicBool::new(false);
     let agree = AtomicBool::new(true);
+    let inflight_scrape_ok = AtomicBool::new(false);
     let requests = AtomicUsize::new(0);
     let start = Instant::now();
     let mut writer_seconds = 0.0f64;
     std::thread::scope(|scope| {
+        if args.watch {
+            let (server, done) = (&server, &done);
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(400));
+                    let Ok(scrape) =
+                        server.submit(Request::Metrics(MetricsFormat::Prometheus)).wait()
+                    else {
+                        return;
+                    };
+                    let Some(text) = scrape.answer.metrics() else { return };
+                    println!(
+                        "# watch: epoch {:?}, {} refreshes ({} full), {} retained epochs, \
+                         {} pinned readers",
+                        scrape.epoch.epoch(),
+                        scrape.health.refreshes,
+                        scrape.health.fallback_refreshes,
+                        scrape.health.retained_epochs,
+                        scrape.health.pinned_readers,
+                    );
+                    // Counter and gauge lines only; the full histogram series
+                    // go to --dump-metrics.
+                    for line in text.lines() {
+                        if !line.starts_with('#') && !line.contains("_bucket{") {
+                            println!("# watch: {line}");
+                        }
+                    }
+                }
+            });
+        }
         for reader in 0..args.readers {
             let (server, done, agree, requests) = (&server, &done, &agree, &requests);
             let (plans, ids, adhoc) = (&plans, &ids, &adhoc);
@@ -199,15 +258,33 @@ fn main() -> ExitCode {
                 }
             });
         }
-        for batch in &batches {
+        let midpoint = batches.len() / 2;
+        for (index, batch) in batches.iter().enumerate() {
             let ingest_start = Instant::now();
             graph.ingest(batch).expect("streamed batches are valid against their prefix");
             writer_seconds += ingest_start.elapsed().as_secs_f64();
+            if index == midpoint {
+                // Scrape through the server while readers are mid-flight: the
+                // exposition must already cover every subsystem's families.
+                let scrape = server
+                    .submit(Request::Metrics(MetricsFormat::Prometheus))
+                    .wait()
+                    .expect("in-flight metrics request");
+                let covered = scrape.answer.metrics().is_some_and(families_covered);
+                inflight_scrape_ok.store(covered, Ordering::Relaxed);
+            }
         }
         done.store(true, Ordering::Release);
     });
     let serve_seconds = start.elapsed().as_secs_f64();
     let stats = graph.stats();
+    let final_scrape = server
+        .submit(Request::Metrics(MetricsFormat::Prometheus))
+        .wait()
+        .expect("final metrics request");
+    let health = final_scrape.health;
+    let metrics_text = final_scrape.answer.metrics().expect("metrics answer").to_string();
+    drop(final_scrape);
     server.shutdown();
 
     let total_requests = requests.load(Ordering::Relaxed);
@@ -226,8 +303,23 @@ fn main() -> ExitCode {
         "# epochs: {} published, {} retired, {} retained, {} pinned readers",
         stats.published, stats.retired, stats.retained, stats.pinned_readers
     );
+    println!(
+        "# health: {} refreshes ({} full fallbacks), {} retained epochs, {} pinned readers",
+        health.refreshes, health.fallback_refreshes, health.retained_epochs, health.pinned_readers
+    );
+    println!(
+        "# metrics: in-flight scrape covered all families: {}",
+        inflight_scrape_ok.load(Ordering::Relaxed)
+    );
     for (index, (name, _)) in registered.iter().enumerate() {
         println!("# {name}: {} maintained rows", graph.pin().table(ids[index]).unwrap().len());
+    }
+    if let Some(path) = &args.dump_metrics {
+        if let Err(error) = std::fs::write(path, &metrics_text) {
+            eprintln!("tpath-serve: cannot write {path:?}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("# metrics: final scrape written to {path}");
     }
 
     if !agree.load(Ordering::Relaxed) {
@@ -238,5 +330,20 @@ fn main() -> ExitCode {
         eprintln!("tpath-serve: FAILED — the writer was starved");
         return ExitCode::FAILURE;
     }
+    if !inflight_scrape_ok.load(Ordering::Relaxed) {
+        eprintln!("tpath-serve: FAILED — the in-flight metrics scrape missed a family");
+        return ExitCode::FAILURE;
+    }
+    if !families_covered(&metrics_text) {
+        eprintln!("tpath-serve: FAILED — the final metrics scrape missed a family");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// True if a Prometheus scrape exposes all four subsystem metric families.
+fn families_covered(text: &str) -> bool {
+    ["tpath_engine_", "tpath_live_", "tpath_epoch_", "tpath_serve_"]
+        .iter()
+        .all(|prefix| text.contains(prefix))
 }

@@ -1,0 +1,10 @@
+//! Seeded violation for the `raw-timing-outside-obs` lint (never compiled;
+//! exercised by `cargo run -p check -- --self-test`).
+
+pub fn measure(rows: &[u64]) -> std::time::Duration {
+    // VIOLATION: bare wall-clock read in runtime code; obs::Stopwatch is the
+    // sanctioned wrapper, and it feeds the metrics registry.
+    let started = std::time::Instant::now();
+    let _ = rows.iter().sum::<u64>();
+    started.elapsed()
+}

@@ -83,6 +83,18 @@ pub fn all() -> Vec<Lint> {
             check: check_wallclock_in_test,
         },
         Lint {
+            id: "raw-timing-outside-obs",
+            summary: "runtime crates take wall-clock readings through obs, never bare Instant::now",
+            fixture: "raw_timing_outside_obs.rs",
+            fixture_path: "crates/engine/src/fixture.rs",
+            applies: |p| {
+                ["crates/engine/", "crates/live/", "crates/dataflow/", "crates/bench/"]
+                    .iter()
+                    .any(|prefix| p.starts_with(prefix))
+            },
+            check: check_raw_timing_outside_obs,
+        },
+        Lint {
             id: "lock-order",
             summary: "the epoch protocol acquires writer before epoch-registry, never the reverse",
             fixture: "lock_order.rs",
@@ -245,6 +257,31 @@ fn check_wallclock_in_test(path: &str, src: &Source) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// raw-timing-outside-obs
+
+fn check_raw_timing_outside_obs(path: &str, src: &Source) -> Vec<Finding> {
+    const CLOCKS: &[&str] = &["Instant::now(", "SystemTime::now("];
+    let mut out = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        // Test regions are wallclock-in-test's territory; double-reporting the
+        // same line under two lint ids would force duplicate allow entries.
+        if src.in_test[i] || !contains_any(line, CLOCKS) {
+            continue;
+        }
+        out.push(finding(
+            "raw-timing-outside-obs",
+            path,
+            i,
+            "reads the wall clock directly in runtime code; timings taken this way are \
+             invisible to the metrics registry and dodge the telemetry on/off gate.  Use \
+             obs::Stopwatch (or an obs::Span around the region) instead"
+                .to_owned(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // lock-order
 
 /// The protocol lock classes, by acquisition rank: the writer mutex strictly
@@ -370,6 +407,18 @@ mod tests {
         let gated =
             "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
         assert_eq!(run("wallclock-in-test", "crates/x/src/lib.rs", gated).len(), 1);
+    }
+
+    #[test]
+    fn raw_timing_fires_in_runtime_code_but_leaves_tests_to_wallclock_lint() {
+        let src = "fn prod() { let _ = std::time::Instant::now(); }\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        let findings = run("raw-timing-outside-obs", "crates/engine/src/executor.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1, "the test-gated read belongs to wallclock-in-test");
+        let sanctioned = "fn prod() { let w = obs::Stopwatch::start(); let _ = w.elapsed(); }\n";
+        assert!(run("raw-timing-outside-obs", "crates/live/src/query.rs", sanctioned).is_empty());
+        let lint = all().into_iter().find(|l| l.id == "raw-timing-outside-obs").unwrap();
+        assert!(!(lint.applies)("crates/obs/src/span.rs"), "obs itself owns the clock");
     }
 
     #[test]

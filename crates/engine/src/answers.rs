@@ -93,6 +93,14 @@ impl Query {
 
     /// Compiles a parsed `MATCH` clause.
     pub fn from_clause(clause: &MatchClause) -> Result<Self> {
+        // Compilation happens before any `ExecutionOptions` exist, so the
+        // compile span is gated on the default telemetry setting (on): it is
+        // a cold path, entered once per query text.
+        let _span = obs::Span::enter(
+            ExecutionOptions::default()
+                .telemetry
+                .then(|| &crate::telemetry::metrics().span_compile),
+        );
         Ok(Query::from_plan_set(crate::compiler::compile(clause)?))
     }
 
@@ -186,7 +194,13 @@ impl Answers {
         match &self.set {
             AnswerSet::Table(_) => {}
             AnswerSet::Compact(compact) => stats.output_rows = compact.num_pairs(),
-            AnswerSet::Cursor(cursor) => stats.output_rows = cursor.rows_yielded(),
+            AnswerSet::Cursor(cursor) => {
+                stats.output_rows = cursor.rows_yielded();
+                // Keep the cursor's buffering high-water mark in the stats:
+                // without this, the measurement was lost as soon as the
+                // cursor was consumed or dropped mid-drain.
+                stats.peak_buffered_rows = cursor.peak_buffered_rows();
+            }
         }
         stats
     }
@@ -473,6 +487,10 @@ pub struct AnswerCursor {
     rows_yielded: usize,
     buffered_rows: usize,
     peak_buffered_rows: usize,
+    /// Whether the drop handler folds this cursor's yield count and buffering
+    /// high-water mark into the metric registry — the only place those
+    /// measurements survive a cursor abandoned mid-drain.
+    telemetry: bool,
 }
 
 /// An unopened chain: the plan it belongs to plus the lower bound on its rows.
@@ -521,7 +539,11 @@ impl AnswerCursor {
     /// Builds a cursor over the chains of every plan alternative.  `plans` and
     /// `chains` are indexed alike; the cursor owns both (expansion needs no graph
     /// access).
-    pub(crate) fn new(plan_set: &PlanSet, per_plan_chains: Vec<Vec<Chain>>) -> Self {
+    pub(crate) fn new(
+        plan_set: &PlanSet,
+        per_plan_chains: Vec<Vec<Chain>>,
+        telemetry: bool,
+    ) -> Self {
         let num_slots = plan_set.variables.len();
         let mut pending = Vec::new();
         for (plan_index, chains) in per_plan_chains.into_iter().enumerate() {
@@ -544,6 +566,7 @@ impl AnswerCursor {
             rows_yielded: 0,
             buffered_rows: 0,
             peak_buffered_rows: 0,
+            telemetry,
         }
     }
 
@@ -621,6 +644,20 @@ impl AnswerCursor {
             self.buffered_rows += merged.len();
             self.peak_buffered_rows = self.peak_buffered_rows.max(self.buffered_rows);
             self.heap.push(OpenRun { rows: merged, next: 0 });
+        }
+    }
+}
+
+impl Drop for AnswerCursor {
+    /// Retains the cursor's measurements past its lifetime: the yield count
+    /// and the buffering high-water mark go to the metric registry, so a
+    /// cursor dropped mid-drain (where `Answers::stats` can no longer be
+    /// asked) still reports how much memory bounded-delay enumeration used.
+    fn drop(&mut self) {
+        if self.telemetry {
+            let m = crate::telemetry::metrics();
+            m.cursor_rows.add(self.rows_yielded as u64);
+            m.cursor_peak_buffered.record(self.peak_buffered_rows as u64);
         }
     }
 }

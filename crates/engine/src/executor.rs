@@ -4,7 +4,9 @@
 //! rows.
 
 use std::sync::atomic::Ordering;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use obs::{Span, Stopwatch};
 
 use dataflow::{kway_merge_dedup, par_chunk_flat_map, JoinStrategy, Parallelism};
 use trpq::parser::MatchClause;
@@ -44,6 +46,13 @@ pub struct ExecutionOptions {
     /// On by default; the rewrites are output-equivalent by construction (pinned
     /// by the property tests in `tests/plan_optimizer.rs`).
     pub optimize: bool,
+    /// Whether this execution records into the process-wide metric registry
+    /// ([`obs::global`]): span timings, row counters, join-strategy decisions,
+    /// closure rounds.  On by default — recording is a handful of relaxed
+    /// atomics per *query* (not per row), cheap enough for release builds.
+    /// When off, spans are no-ops that never read the clock and nothing is
+    /// recorded (pinned by `tests/telemetry.rs`).
+    pub telemetry: bool,
 }
 
 impl Default for ExecutionOptions {
@@ -53,6 +62,7 @@ impl Default for ExecutionOptions {
             join_strategy: JoinStrategy::Auto,
             answer_mode: AnswerMode::Materialized,
             optimize: true,
+            telemetry: true,
         }
     }
 }
@@ -85,6 +95,12 @@ impl ExecutionOptions {
         self.optimize = optimize;
         self
     }
+
+    /// Enables or disables telemetry recording for this execution.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// Timing and cardinality measurements of one query execution, mirroring the columns
@@ -109,6 +125,12 @@ pub struct QueryStats {
     /// group mixing structural and temporal navigation, e.g. `(FWD/NEXT)*`, to a
     /// band frontier); 0 for plans without mixed repetition.
     pub time_rounds: usize,
+    /// High-water mark of rows the enumeration cursor ever buffered between
+    /// expansion and emission.  0 for the eager modes and before any draining;
+    /// [`Answers::stats`] keeps it current as the cursor drains, and the
+    /// `tpath_engine_cursor_peak_buffered_rows` histogram retains it past the
+    /// cursor's drop (a cursor abandoned mid-drain is otherwise unreportable).
+    pub peak_buffered_rows: usize,
 }
 
 /// The result of executing a query: the binding table plus measurements.
@@ -129,6 +151,8 @@ fn effective_plan_set<'a>(
     options: &ExecutionOptions,
 ) -> std::borrow::Cow<'a, PlanSet> {
     if options.optimize {
+        let _span =
+            Span::enter(options.telemetry.then(|| &crate::telemetry::metrics().span_analyze));
         std::borrow::Cow::Owned(crate::plan::analyze::optimized_for(plan_set, graph))
     } else {
         std::borrow::Cow::Borrowed(plan_set)
@@ -153,7 +177,7 @@ struct IntervalPhase {
     interval_time: Duration,
     interval_rows: usize,
     step_stats: StepStats,
-    start: Instant,
+    start: Stopwatch,
 }
 
 impl IntervalPhase {
@@ -168,6 +192,30 @@ impl IntervalPhase {
             output_rows,
             closure_rounds: self.step_stats.closure_rounds.load(Ordering::Relaxed),
             time_rounds: self.step_stats.time_closure_rounds.load(Ordering::Relaxed),
+            peak_buffered_rows: 0,
+        }
+    }
+
+    /// Folds the finished execution into the metric registry: one histogram
+    /// sample per span-tree node with a measured duration, plus the row /
+    /// round / join-decision counters.  No-op when telemetry is off.
+    fn record_metrics(&self, stats: &QueryStats, telemetry: bool) {
+        if !telemetry {
+            return;
+        }
+        let m = crate::telemetry::metrics();
+        m.queries.inc();
+        m.span_query.record(obs::duration_nanos(stats.total_time));
+        m.span_step12.record(obs::duration_nanos(stats.interval_time));
+        m.rows_interval.add(stats.interval_rows as u64);
+        m.rows_output.add(stats.output_rows as u64);
+        m.closure_rounds.add(stats.closure_rounds as u64);
+        m.time_rounds.add(stats.time_rounds as u64);
+        m.joins_hash.add(self.step_stats.hash_joins.load(Ordering::Relaxed) as u64);
+        m.joins_merge.add(self.step_stats.merge_joins.load(Ordering::Relaxed) as u64);
+        let closure_nanos = self.step_stats.closure_nanos.load(Ordering::Relaxed);
+        if closure_nanos > 0 {
+            m.span_closure.record(closure_nanos);
         }
     }
 }
@@ -187,8 +235,8 @@ fn run_interval_phase(
     if let Err(error) = crate::plan::audit::audit(plan_set) {
         panic!("refusing to execute a malformed plan set: {error}");
     }
-    let step_stats = StepStats::default();
-    let start = Instant::now();
+    let step_stats = StepStats { timed: options.telemetry, ..StepStats::default() };
+    let start = Stopwatch::start();
     let per_plan_chains: Vec<Vec<Chain>> = plan_set
         .plans
         .iter()
@@ -244,8 +292,11 @@ pub fn execute(
     let plan_set = plan_set.as_ref();
     let strategy = effective_strategy(plan_set, options);
     let phase = run_interval_phase(plan_set, graph, options, strategy);
+    let step3 = Span::enter(options.telemetry.then(|| &crate::telemetry::metrics().span_step3));
     let table = materialize(plan_set, options, strategy, &phase.per_plan_chains);
+    step3.finish();
     let stats = phase.finish(table.len());
+    phase.record_metrics(&stats, options.telemetry);
     QueryOutput { table, stats }
 }
 
@@ -260,21 +311,32 @@ pub fn execute_answers(
     let plan_set = effective_plan_set(plan_set, graph, options);
     let plan_set = plan_set.as_ref();
     let strategy = effective_strategy(plan_set, options);
+    let telemetry = options.telemetry;
     let phase = run_interval_phase(plan_set, graph, options, strategy);
     match options.answer_mode {
         AnswerMode::Materialized => {
+            let step3 = Span::enter(telemetry.then(|| &crate::telemetry::metrics().span_step3));
             let table = materialize(plan_set, options, strategy, &phase.per_plan_chains);
+            step3.finish();
             let stats = phase.finish(table.len());
+            phase.record_metrics(&stats, telemetry);
             Answers::new(AnswerSet::Table(table), stats)
         }
         AnswerMode::Compact => {
+            let span = Span::enter(telemetry.then(|| &crate::telemetry::metrics().span_compact));
             let compact = compact_from_chains(plan_set, &phase.per_plan_chains);
+            span.finish();
             let stats = phase.finish(0);
+            phase.record_metrics(&stats, telemetry);
             Answers::new(AnswerSet::Compact(compact), stats)
         }
         AnswerMode::Enumerate => {
             let stats = phase.finish(0);
-            let cursor = AnswerCursor::new(plan_set, phase.per_plan_chains);
+            phase.record_metrics(&stats, telemetry);
+            let span =
+                Span::enter(telemetry.then(|| &crate::telemetry::metrics().span_cursor_open));
+            let cursor = AnswerCursor::new(plan_set, phase.per_plan_chains, telemetry);
+            span.finish();
             Answers::new(AnswerSet::Cursor(cursor), stats)
         }
     }

@@ -46,6 +46,7 @@ pub mod plan;
 pub mod queries;
 pub mod relations;
 pub mod steps;
+mod telemetry;
 
 pub use answers::{
     AnswerCursor, AnswerMode, AnswerSet, Answers, CompactAnswers, Query, TableCursor,

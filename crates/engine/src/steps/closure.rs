@@ -127,6 +127,21 @@ pub fn apply_closure<C: StructuralCursor>(
     strategy: JoinStrategy,
     stats: &StepStats,
 ) -> Vec<C> {
+    let watch = stats.timed.then(obs::Stopwatch::start);
+    let out = apply_closure_untimed(graph, cursors, closure, strategy, stats);
+    if let Some(watch) = watch {
+        stats.closure_nanos.fetch_add(watch.elapsed_nanos(), Ordering::Relaxed);
+    }
+    out
+}
+
+fn apply_closure_untimed<C: StructuralCursor>(
+    graph: &GraphRelations,
+    cursors: Vec<C>,
+    closure: &ClosureOp,
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<C> {
     debug_assert!(
         !closure.is_time_crossing(),
         "time-crossing closures compile to a TemporalLink, not a segment micro-op"
@@ -594,6 +609,21 @@ fn fold_into(reached: &mut BTreeMap<(u32, Position), Vec<StoredBand>>, band: &Ba
 /// new segment starts on the reached row over the arrival times, and the chain
 /// records the admissible time skew as a [`TimeLag`] for Step 3's point expansion.
 pub fn apply_time_closure(
+    graph: &GraphRelations,
+    chains: Vec<Chain>,
+    closure: &ClosureOp,
+    strategy: JoinStrategy,
+    stats: &StepStats,
+) -> Vec<Chain> {
+    let watch = stats.timed.then(obs::Stopwatch::start);
+    let out = apply_time_closure_untimed(graph, chains, closure, strategy, stats);
+    if let Some(watch) = watch {
+        stats.closure_nanos.fetch_add(watch.elapsed_nanos(), Ordering::Relaxed);
+    }
+    out
+}
+
+fn apply_time_closure_untimed(
     graph: &GraphRelations,
     chains: Vec<Chain>,
     closure: &ClosureOp,

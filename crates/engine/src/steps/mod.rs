@@ -5,7 +5,7 @@ pub mod expand;
 pub mod structural;
 pub mod temporal;
 
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
 
 /// Counters accumulated while running Steps 1–2, shared across the executor's worker
 /// threads (hence the atomics).
@@ -19,4 +19,17 @@ pub struct StepStats {
     /// group mixing structural and temporal navigation (`(FWD/NEXT)*` and friends) to
     /// a band frontier.  Zero for plans without mixed repetition.
     pub time_closure_rounds: AtomicUsize,
+    /// Number of structural hop joins resolved to the hash algorithm (per hop batch,
+    /// not per cursor) — the decisions `JoinStrategy::Auto` actually took.
+    pub hash_joins: AtomicUsize,
+    /// Number of structural hop joins resolved to the gallop merge algorithm.
+    pub merge_joins: AtomicUsize,
+    /// Nanoseconds spent inside closure fixpoints (structural and time-crossing),
+    /// accumulated only when [`StepStats::timed`] is set.  Feeds the
+    /// `query/step12/closure` span.
+    pub closure_nanos: AtomicU64,
+    /// Whether the closure entry points read the clock to accumulate
+    /// [`StepStats::closure_nanos`].  Off by default; the executor sets it from
+    /// `ExecutionOptions::telemetry`, so a telemetry-off run never reads the clock.
+    pub timed: bool,
 }

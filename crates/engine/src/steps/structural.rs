@@ -138,7 +138,7 @@ pub(crate) fn apply_op<C: StructuralCursor>(
                 cursor
             })
             .collect(),
-        MicroOp::Hop(direction) => apply_hop(graph, cursors, *direction, strategy),
+        MicroOp::Hop(direction) => apply_hop(graph, cursors, *direction, strategy, stats),
         MicroOp::Closure(closure) => apply_closure(graph, cursors, closure, strategy, stats),
     }
 }
@@ -152,17 +152,27 @@ fn apply_hop<C: StructuralCursor>(
     cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
+    stats: &StepStats,
 ) -> Vec<C> {
     let (node_cursors, edge_cursors): (Vec<C>, Vec<C>) =
         cursors.into_iter().partition(|c| matches!(c.position(), Position::NodeRow(_)));
     let mut out = Vec::with_capacity(node_cursors.len() + edge_cursors.len());
     if !node_cursors.is_empty() {
-        hop_from_nodes(graph, node_cursors, direction, strategy, &mut out);
+        hop_from_nodes(graph, node_cursors, direction, strategy, stats, &mut out);
     }
     if !edge_cursors.is_empty() {
-        hop_from_edges(graph, edge_cursors, direction, strategy, &mut out);
+        hop_from_edges(graph, edge_cursors, direction, strategy, stats, &mut out);
     }
     out
+}
+
+/// Counts one resolved join decision (per hop batch) into the step stats.
+fn count_join(stats: &StepStats, resolved: ResolvedJoin) {
+    let counter = match resolved {
+        ResolvedJoin::Hash => &stats.hash_joins,
+        ResolvedJoin::Merge => &stats.merge_joins,
+    };
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// Joins node-positioned cursors with the Edges relation on the adjacency key
@@ -172,6 +182,7 @@ fn hop_from_nodes<C: StructuralCursor>(
     mut cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
+    stats: &StepStats,
     out: &mut Vec<C>,
 ) {
     let key = |c: &C| match c.position() {
@@ -188,7 +199,9 @@ fn hop_from_nodes<C: StructuralCursor>(
         }
     };
     let sorted = is_key_sorted(&cursors, key);
-    match strategy.resolve_with_hint(sorted, cursors.len(), perm.len()) {
+    let resolved = strategy.resolve_with_hint(sorted, cursors.len(), perm.len());
+    count_join(stats, resolved);
+    match resolved {
         ResolvedJoin::Hash => {
             for cursor in &cursors {
                 let node = graph.node_rows()[match cursor.position() {
@@ -229,6 +242,7 @@ fn hop_from_edges<C: StructuralCursor>(
     mut cursors: Vec<C>,
     direction: HopDirection,
     strategy: JoinStrategy,
+    stats: &StepStats,
     out: &mut Vec<C>,
 ) {
     let endpoint = |c: &C| {
@@ -244,7 +258,9 @@ fn hop_from_edges<C: StructuralCursor>(
     let key = |c: &C| endpoint(c).index();
     let sorted = is_key_sorted(&cursors, key);
     let perm_len = graph.node_rows_sorted_by_id().len();
-    match strategy.resolve_with_hint(sorted, cursors.len(), perm_len) {
+    let resolved = strategy.resolve_with_hint(sorted, cursors.len(), perm_len);
+    count_join(stats, resolved);
+    match resolved {
         ResolvedJoin::Hash => {
             for cursor in &cursors {
                 extend_with_node_rows(graph, cursor, graph.rows_of_node(endpoint(cursor)), out);

@@ -1,0 +1,79 @@
+//! End-to-end pins for the engine's telemetry: the `telemetry = false` knob
+//! really records nothing, enabled runs count executions, and an enumeration
+//! cursor's peak-buffered high-water mark survives being abandoned mid-drain
+//! (the regression that motivated recording it on cursor drop).
+//!
+//! Everything lives in one test function: the metrics are process-global, and
+//! a single test per binary keeps the before/after assertions race-free.
+
+use engine::{AnswerMode, ExecutionOptions, GraphRelations, Query};
+use tgraph::{Interval, ItpgBuilder};
+
+const QUERY: &str = "MATCH (x:Person {risk = 'high'}) ON g";
+
+/// Four high-risk persons, each an independent answer row — enough to drain a
+/// cursor partially and leave work buffered behind it.
+fn graph() -> GraphRelations {
+    let mut b = ItpgBuilder::new();
+    for name in ["ann", "bob", "cal", "dee"] {
+        let node = b.add_node(name, "Person").unwrap();
+        b.add_existence(node, Interval::of(1, 9)).unwrap();
+        b.set_property(node, "risk", "high", Interval::of(1, 9)).unwrap();
+    }
+    GraphRelations::from_itpg(&b.build().unwrap())
+}
+
+#[test]
+fn telemetry_gates_and_peak_buffered_retention() {
+    let graph = graph();
+    let reg = obs::global();
+    // Get-or-create returns the engine's own series, so these handles observe
+    // exactly what the executor records.
+    let queries = reg.counter("tpath_engine_queries_total", "Query executions.", &[]);
+    let peak_hist = reg.histogram(
+        "tpath_engine_cursor_peak_buffered_rows",
+        "Per-cursor peak buffered rows.",
+        &[],
+    );
+
+    // A disabled run is a no-op on the registry.
+    let before = queries.get();
+    let answers = Query::parse(QUERY)
+        .unwrap()
+        .with_options(ExecutionOptions::sequential().with_telemetry(false))
+        .run(&graph);
+    let expected_rows = answers.stats().output_rows;
+    assert!(expected_rows >= 1);
+    drop(answers);
+    assert_eq!(queries.get(), before, "telemetry = false must record nothing");
+
+    // An enabled run counts the execution.
+    let answers =
+        Query::parse(QUERY).unwrap().with_options(ExecutionOptions::sequential()).run(&graph);
+    assert_eq!(answers.stats().output_rows, expected_rows);
+    assert_eq!(queries.get(), before + 1);
+    drop(answers);
+
+    // Enumerate, drain two of eight rows, then abandon the cursor: stats()
+    // exposes the live high-water mark mid-drain, and dropping the cursor
+    // retains that peak in the histogram — it is not lost with the cursor.
+    let peak_before = peak_hist.snapshot();
+    let mut answers = Query::parse(QUERY)
+        .unwrap()
+        .with_options(ExecutionOptions::sequential())
+        .with_mode(AnswerMode::Enumerate)
+        .run(&graph);
+    {
+        let cursor = answers.cursor_mut().expect("enumerate mode hands out a cursor");
+        assert_eq!(cursor.page(2).len(), 2);
+    }
+    let mid_drain_peak = answers.stats().peak_buffered_rows;
+    assert!(mid_drain_peak >= 1, "mid-drain stats expose the cursor's high-water mark");
+    drop(answers);
+    let peak_after = peak_hist.snapshot();
+    assert_eq!(peak_after.count, peak_before.count + 1, "cursor drop records its peak");
+    assert!(
+        peak_after.sum >= peak_before.sum + mid_drain_peak as u64,
+        "the retained peak is at least the mid-drain one"
+    );
+}

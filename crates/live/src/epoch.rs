@@ -103,6 +103,12 @@ struct ManagerInner {
 #[derive(Debug)]
 pub struct EpochManager {
     inner: Mutex<ManagerInner>,
+    /// Pre-resolved metric handles when telemetry is on.  Recording through
+    /// them is lock-free, so the protocol methods update the epoch gauges
+    /// while still holding the bookkeeping mutex — the counters can never
+    /// disagree with the state transition they describe.  Gauges move by
+    /// deltas, so several managers in one process aggregate.
+    metrics: Option<&'static crate::telemetry::EpochMetrics>,
 }
 
 impl EpochManager {
@@ -111,12 +117,19 @@ impl EpochManager {
         epoch: Option<u64>,
         relations: GraphRelations,
         tables: Vec<Arc<BindingTable>>,
+        telemetry: bool,
     ) -> Arc<Self> {
         let snapshot = Arc::new(EpochSnapshot { epoch, version: 0, relations, tables });
         let mut retained = BTreeMap::new();
         retained.insert(0, RetainedEpoch { snapshot, pins: 0 });
+        let metrics = telemetry.then(crate::telemetry::epoch_metrics);
+        if let Some(metrics) = metrics {
+            metrics.published.inc();
+            metrics.retained.add(1);
+        }
         Arc::new(EpochManager {
             inner: Mutex::new(ManagerInner { retained, current: 0, published: 1, retired: 0 }),
+            metrics,
         })
     }
 
@@ -141,9 +154,15 @@ impl EpochManager {
             .filter(|(&v, e)| v != version && e.pins == 0)
             .map(|(&v, _)| v)
             .collect();
+        let retired = stale.len();
         for v in stale {
             inner.retained.remove(&v);
             inner.retired += 1;
+        }
+        if let Some(metrics) = self.metrics {
+            metrics.published.inc();
+            metrics.retired.add(retired as u64);
+            metrics.retained.add(1 - retired as i64);
         }
         version
     }
@@ -171,6 +190,9 @@ impl EpochManager {
             }
         };
         drop(inner);
+        if let Some(metrics) = self.metrics {
+            metrics.pinned_readers.add(1);
+        }
         PinnedEpoch { manager: Arc::clone(self), snapshot }
     }
 
@@ -231,9 +253,17 @@ impl EpochManager {
         };
         debug_assert!(entry.pins > 0);
         entry.pins -= 1;
-        if entry.pins == 0 && version != inner.current {
+        let retired = entry.pins == 0 && version != inner.current;
+        if retired {
             inner.retained.remove(&version);
             inner.retired += 1;
+        }
+        if let Some(metrics) = self.metrics {
+            metrics.pinned_readers.sub(1);
+            if retired {
+                metrics.retired.inc();
+                metrics.retained.sub(1);
+            }
         }
     }
 
@@ -282,6 +312,9 @@ impl Clone for PinnedEpoch {
             }
         }
         drop(inner);
+        if let Some(metrics) = self.manager.metrics {
+            metrics.pinned_readers.add(1);
+        }
         PinnedEpoch { manager: Arc::clone(&self.manager), snapshot: Arc::clone(&self.snapshot) }
     }
 }
@@ -299,7 +332,7 @@ mod tests {
 
     fn manager() -> Arc<EpochManager> {
         let relations = GraphRelations::from_itpg(&Itpg::empty(Interval::of(1, 10)));
-        EpochManager::new(None, relations, Vec::new())
+        EpochManager::new(None, relations, Vec::new(), false)
     }
 
     fn republish(manager: &Arc<EpochManager>, epoch: u64) -> u64 {

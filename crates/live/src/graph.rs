@@ -96,6 +96,7 @@ impl LiveGraph {
     /// dirty.  Epochs must be strictly increasing; a rejected batch leaves
     /// graph, relations and queries untouched.
     pub fn apply(&mut self, batch: &Batch) -> Result<IngestStats, LiveError> {
+        let watch = self.options.telemetry.then(obs::Stopwatch::start);
         if let Some(last) = self.last_epoch {
             if batch.epoch <= last {
                 return Err(LiveError::NonMonotonicEpoch { last, got: batch.epoch });
@@ -108,6 +109,12 @@ impl LiveGraph {
         }
         self.last_epoch = Some(applied.epoch);
         self.batches_applied += 1;
+        if let Some(watch) = watch {
+            let metrics = crate::telemetry::live_metrics();
+            metrics.batches.inc();
+            metrics.mutations.add(batch.mutations.len() as u64);
+            metrics.apply_seconds.record(watch.elapsed_nanos());
+        }
         Ok(IngestStats { applied, delta, mutations: batch.mutations.len() })
     }
 
@@ -137,13 +144,25 @@ impl LiveGraph {
     /// maintained answer.  A refresh with nothing pending is a cheap no-op.
     pub fn refresh(&mut self, id: LiveQueryId) -> RefreshStats {
         let strategy = self.strategy_for(self.queries[id.0].plan_set());
-        self.queries[id.0].refresh(
+        let stats = self.queries[id.0].refresh(
             &self.itpg,
             &self.relations,
             self.options.parallelism,
             strategy,
             self.last_epoch,
-        )
+        );
+        if self.options.telemetry {
+            let metrics = crate::telemetry::live_metrics();
+            if stats.fallback_full {
+                metrics.refreshes_full.inc();
+            } else {
+                metrics.refreshes_delta.inc();
+            }
+            metrics.refresh_seconds.record(obs::duration_nanos(stats.duration));
+            metrics.rows_added.add(stats.rows_added as u64);
+            metrics.rows_retracted.add(stats.rows_retracted as u64);
+        }
+        stats
     }
 
     /// Refreshes every registered query, returning one stats record per query

@@ -65,10 +65,14 @@ pub mod graph;
 pub mod query;
 pub mod sched;
 pub mod serve;
+mod telemetry;
 
 pub use epoch::{EpochManager, EpochSnapshot, EpochStats, PinnedEpoch};
 pub use error::LiveError;
 pub use graph::{IngestStats, LiveGraph};
 pub use query::{LiveQueryId, RefreshStats};
-pub use serve::{IngestReport, Request, Response, ServeAnswer, ServeGraph, Server, Ticket};
+pub use serve::{
+    IngestReport, MetricsFormat, Request, Response, ServeAnswer, ServeGraph, ServeHealth, Server,
+    Ticket,
+};
 pub use tgraph::{AppliedBatch, Batch, Mutation};

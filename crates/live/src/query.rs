@@ -162,7 +162,7 @@ impl QueryState {
         strategy: JoinStrategy,
         epoch: Option<u64>,
     ) -> RefreshStats {
-        let started = std::time::Instant::now();
+        let started = obs::Stopwatch::start();
         let mut stats = RefreshStats { epoch, ..Default::default() };
         if self.pending.is_empty() {
             stats.output_rows = self.table.len();

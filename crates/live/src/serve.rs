@@ -43,9 +43,11 @@
 //! ```
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
+
+use obs::Stopwatch;
 
 use engine::bindings::BindingTable;
 use engine::plan::PlanSet;
@@ -83,6 +85,11 @@ pub struct ServeGraph {
     writer: Mutex<LiveGraph>,
     epochs: Arc<EpochManager>,
     options: ExecutionOptions,
+    /// Maintained-query refreshes performed by ingests, and how many of them
+    /// fell back to a full recompute — the serving-level fallback rate every
+    /// [`Response`] reports through [`ServeHealth`].
+    refreshes: AtomicU64,
+    fallback_refreshes: AtomicU64,
 }
 
 impl ServeGraph {
@@ -97,9 +104,19 @@ impl ServeGraph {
     /// a request's [`AnswerMode`] overrides the mode per query.
     pub fn with_options(itpg: Itpg, options: ExecutionOptions) -> Self {
         let graph = LiveGraph::with_options(itpg, options);
-        let epochs =
-            EpochManager::new(graph.epoch(), graph.relations().snapshot(), graph.table_handles());
-        ServeGraph { writer: Mutex::new(graph), epochs, options }
+        let epochs = EpochManager::new(
+            graph.epoch(),
+            graph.relations().snapshot(),
+            graph.table_handles(),
+            options.telemetry,
+        );
+        ServeGraph {
+            writer: Mutex::new(graph),
+            epochs,
+            options,
+            refreshes: AtomicU64::new(0),
+            fallback_refreshes: AtomicU64::new(0),
+        }
     }
 
     /// Registers a compiled plan set for maintenance and publishes a new epoch
@@ -127,9 +144,19 @@ impl ServeGraph {
     /// earlier epochs are unaffected — they keep their snapshot until they
     /// drop it.  A rejected batch publishes nothing.
     pub fn ingest(&self, batch: &Batch) -> Result<IngestReport, LiveError> {
+        let waited = self.options.telemetry.then(Stopwatch::start);
         let mut writer = self.writer();
+        if let Some(waited) = waited {
+            // Readers never take the writer lock, so any wait here is
+            // writer-vs-writer contention — the starvation signal.
+            let wait = i64::try_from(waited.elapsed_nanos()).unwrap_or(i64::MAX);
+            crate::telemetry::serve_metrics().writer_lock_wait_nanos.set(wait);
+        }
         let ingest = writer.apply(batch)?;
         let refreshes = writer.refresh_all();
+        self.refreshes.fetch_add(refreshes.len() as u64, Ordering::Relaxed);
+        let fallbacks = refreshes.iter().filter(|r| r.fallback_full).count() as u64;
+        self.fallback_refreshes.fetch_add(fallbacks, Ordering::Relaxed);
         let version = self.publish(&writer);
         Ok(IngestReport { ingest, refreshes, version })
     }
@@ -147,6 +174,18 @@ impl ServeGraph {
     /// The epoch registry's bookkeeping counters.
     pub fn stats(&self) -> EpochStats {
         self.epochs.stats()
+    }
+
+    /// The serving-health snapshot every [`Response`] carries: refresh and
+    /// fallback totals plus the epoch registry's retention state.
+    pub fn health(&self) -> ServeHealth {
+        let epochs = self.epochs.stats();
+        ServeHealth {
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            fallback_refreshes: self.fallback_refreshes.load(Ordering::Relaxed),
+            retained_epochs: epochs.retained,
+            pinned_readers: epochs.pinned_readers,
+        }
     }
 
     /// The number of batches the writer has applied so far.
@@ -193,6 +232,39 @@ pub enum Request {
         /// How to shape the answers.
         mode: AnswerMode,
     },
+    /// Render the process-wide metric registry — the scrape endpoint.  Served
+    /// by the same worker pool as queries, so a scrape observes the server
+    /// exactly as it is while queries are in flight.
+    Metrics(MetricsFormat),
+}
+
+/// The exposition format of a [`Request::Metrics`] scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format 0.0.4
+    /// ([`obs::Registry::render_prometheus`]).
+    Prometheus,
+    /// The JSON rendering ([`obs::Registry::render_json`]).
+    Json,
+}
+
+/// The serving-health counters attached to every [`Response`]: how much
+/// maintenance work ingests have done and how the fallback rate and epoch
+/// retention look right now.  Clients see staleness pressure (full-recompute
+/// fallbacks) and snapshot build-up (pinned readers holding old epochs)
+/// without a separate stats round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeHealth {
+    /// Maintained-query refreshes performed by ingests so far.
+    pub refreshes: u64,
+    /// How many of those refreshes fell back to a full recompute
+    /// ([`RefreshStats::fallback_full`]).
+    pub fallback_refreshes: u64,
+    /// Epoch snapshots currently retained (the current one plus every pinned
+    /// one).
+    pub retained_epochs: usize,
+    /// Pins currently held by readers, across all retained epochs.
+    pub pinned_readers: usize,
 }
 
 /// The answer payload of a [`Response`], shaped by the request's
@@ -215,6 +287,8 @@ pub enum ServeAnswer {
         /// The cursor's peak buffered-row count — the bounded-delay evidence.
         peak_buffered: usize,
     },
+    /// A rendered metrics scrape ([`Request::Metrics`]).
+    Metrics(String),
 }
 
 impl ServeAnswer {
@@ -225,7 +299,7 @@ impl ServeAnswer {
             ServeAnswer::Maintained(table) => Some(table),
             ServeAnswer::Rows(table) => Some(table),
             ServeAnswer::Streamed { rows, .. } => Some(rows),
-            ServeAnswer::Compact(_) => None,
+            ServeAnswer::Compact(_) | ServeAnswer::Metrics(_) => None,
         }
     }
 
@@ -233,6 +307,14 @@ impl ServeAnswer {
     pub fn compact(&self) -> Option<&CompactAnswers> {
         match self {
             ServeAnswer::Compact(compact) => Some(compact),
+            _ => None,
+        }
+    }
+
+    /// The rendered metrics scrape, if the request was [`Request::Metrics`].
+    pub fn metrics(&self) -> Option<&str> {
+        match self {
+            ServeAnswer::Metrics(text) => Some(text),
             _ => None,
         }
     }
@@ -247,11 +329,17 @@ pub struct Response {
     pub epoch: PinnedEpoch,
     /// The answer payload.
     pub answer: ServeAnswer,
+    /// Serving health at response time: refresh/fallback totals and epoch
+    /// retention (see [`ServeGraph::health`]).
+    pub health: ServeHealth,
 }
 
 struct Job {
     request: Request,
     reply: mpsc::Sender<Result<Response, LiveError>>,
+    /// Started at submission when telemetry is on; measures queue wait at
+    /// dequeue and end-to-end latency at reply.
+    submitted: Option<Stopwatch>,
 }
 
 /// A pending response: blocks on [`Ticket::wait`] until a worker replies.
@@ -284,12 +372,14 @@ pub struct Server {
     tx: Mutex<Option<mpsc::Sender<Job>>>,
     closed: Arc<AtomicBool>,
     workers: Vec<thread::JoinHandle<()>>,
+    telemetry: bool,
 }
 
 impl Server {
     /// Spawns `workers` worker threads serving queries against `graph`.
     /// At least one worker is always spawned.
     pub fn start(graph: Arc<ServeGraph>, workers: usize) -> Self {
+        let telemetry = graph.options().telemetry;
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let closed = Arc::new(AtomicBool::new(false));
@@ -301,7 +391,7 @@ impl Server {
                 thread::spawn(move || worker_loop(&graph, &rx, &closed))
             })
             .collect();
-        Server { tx: Mutex::new(Some(tx)), closed, workers: handles }
+        Server { tx: Mutex::new(Some(tx)), closed, workers: handles, telemetry }
     }
 
     /// Enqueues a request; any idle worker picks it up.  The returned
@@ -309,10 +399,13 @@ impl Server {
     /// the server shuts down first).
     pub fn submit(&self, request: Request) -> Ticket {
         let (reply, rx) = mpsc::channel();
+        let submitted = self.telemetry.then(Stopwatch::start);
         match &*self.sender() {
             Some(tx) if !self.closed.load(Ordering::Acquire) => {
-                if tx.send(Job { request, reply: reply.clone() }).is_err() {
+                if tx.send(Job { request, reply: reply.clone(), submitted }).is_err() {
                     let _ = reply.send(Err(LiveError::ServerClosed));
+                } else if self.telemetry {
+                    crate::telemetry::serve_metrics().queue_depth.add(1);
                 }
             }
             _ => {
@@ -369,6 +462,10 @@ impl Drop for Server {
 }
 
 fn worker_loop(graph: &ServeGraph, rx: &Mutex<mpsc::Receiver<Job>>, closed: &AtomicBool) {
+    let metrics = graph.options().telemetry.then(crate::telemetry::serve_metrics);
+    if let Some(metrics) = metrics {
+        metrics.workers.add(1);
+    }
     loop {
         // Hold the queue lock only for the dequeue, never during execution.
         let job = {
@@ -380,16 +477,38 @@ fn worker_loop(graph: &ServeGraph, rx: &Mutex<mpsc::Receiver<Job>>, closed: &Ato
         };
         match job {
             Ok(job) => {
+                if let Some(metrics) = metrics {
+                    metrics.queue_depth.sub(1);
+                    metrics.busy_workers.add(1);
+                    if let Some(submitted) = &job.submitted {
+                        metrics.queue_wait_seconds.record(submitted.elapsed_nanos());
+                    }
+                }
                 let result = if closed.load(Ordering::Acquire) {
                     // Abortive close: drain queued jobs without executing them.
                     Err(LiveError::ServerClosed)
                 } else {
                     contained(graph, job.request)
                 };
+                if let Some(metrics) = metrics {
+                    metrics.busy_workers.sub(1);
+                    if matches!(&result, Err(LiveError::WorkerPanicked(_))) {
+                        metrics.worker_panics.inc();
+                    }
+                    if let Some(submitted) = &job.submitted {
+                        metrics.request_seconds.record(submitted.elapsed_nanos());
+                    }
+                }
                 // A send error means the client dropped its ticket; fine.
                 let _ = job.reply.send(result);
             }
-            Err(mpsc::RecvError) => return, // server shut down
+            Err(mpsc::RecvError) => {
+                // Server shut down; the channel is drained.
+                if let Some(metrics) = metrics {
+                    metrics.workers.sub(1);
+                }
+                return;
+            }
         }
     }
 }
@@ -418,22 +537,51 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Executes one request against a freshly pinned snapshot.
 fn handle(graph: &ServeGraph, request: Request) -> Result<Response, LiveError> {
+    let metrics = graph.options().telemetry.then(crate::telemetry::serve_metrics);
     let epoch = graph.pin();
     let answer = match request {
         Request::Registered(id) => {
+            if let Some(metrics) = metrics {
+                metrics.req_registered.inc();
+            }
             let table = epoch.table(id).ok_or(LiveError::UnknownQuery(id))?;
             ServeAnswer::Maintained(Arc::clone(table))
         }
         Request::AdHoc { text, mode } => {
+            if let Some(metrics) = metrics {
+                mode_counter(metrics, mode).inc();
+            }
             let clause = trpq::parser::parse_match(&text)?;
             let plan = compile(&clause)?;
             execute_on(&plan, epoch.relations(), *graph.options(), mode)
         }
         Request::Compiled { plan, mode } => {
+            if let Some(metrics) = metrics {
+                mode_counter(metrics, mode).inc();
+            }
             execute_on(&plan, epoch.relations(), *graph.options(), mode)
         }
+        Request::Metrics(format) => {
+            // Counted before rendering, so a scrape observes itself.
+            if let Some(metrics) = metrics {
+                metrics.req_metrics.inc();
+            }
+            ServeAnswer::Metrics(match format {
+                MetricsFormat::Prometheus => obs::global().render_prometheus(),
+                MetricsFormat::Json => obs::global().render_json(),
+            })
+        }
     };
-    Ok(Response { epoch, answer })
+    Ok(Response { epoch, answer, health: graph.health() })
+}
+
+/// The per-mode request counter an ad-hoc or prepared execution bumps.
+fn mode_counter(metrics: &crate::telemetry::ServeMetrics, mode: AnswerMode) -> &obs::Counter {
+    match mode {
+        AnswerMode::Materialized => &metrics.req_full,
+        AnswerMode::Compact => &metrics.req_compact,
+        AnswerMode::Enumerate => &metrics.req_enum,
+    }
 }
 
 /// Runs a plan set against an immutable snapshot in the requested answer mode.

@@ -1,0 +1,44 @@
+//! Observability primitives for the tpath workspace.
+//!
+//! The engine, live maintenance, and the query server all need the same three
+//! things: counters for events, gauges for levels, and histograms for
+//! latencies — recorded on hot paths that must not slow down and read back by
+//! an exposition endpoint that must not perturb the writers.  This crate
+//! provides exactly that, on `std` alone (the build environment has no
+//! registry access, so there is no `prometheus`/`metrics`/`tracing`
+//! dependency to lean on):
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics, relaxed ordering, wait-free.
+//! * [`Histogram`] — fixed log2 buckets ([`HISTOGRAM_BUCKETS`] of them), each
+//!   an atomic; [`Histogram::record`] is lock-free and allocation-free.
+//! * [`Span`] — an RAII timer guard ([`Span::enter`]) that records its
+//!   elapsed time into a histogram on drop.  Span families are labelled with
+//!   slash-separated paths (`query/step12`), so per-query span trees aggregate
+//!   into one histogram per tree node.  A disabled span
+//!   ([`Span::enter`] with `None`, or [`Span::noop`]) never reads the clock
+//!   and records nothing.
+//! * [`Stopwatch`] — the only sanctioned wall-clock read outside this crate's
+//!   span machinery.  Engine and live code must time through [`Span`] or
+//!   [`Stopwatch`]; the `raw-timing-outside-obs` workspace lint denies bare
+//!   `Instant::now()` there.
+//! * [`Registry`] — get-or-create metric families keyed by name + labels.
+//!   Registration takes a `Mutex` (once per handle, at startup); *recording*
+//!   through the returned `Arc` handles never does — a guarantee pinned by
+//!   [`Registry::lock_acquisitions`] and the lock-freedom tests.  Exposition
+//!   is [`Registry::render_prometheus`] (text format 0.0.4) and
+//!   [`Registry::render_json`].
+//!
+//! The process-wide registry every crate records into is [`global`]; local
+//! [`Registry`] values exist for tests and tools.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod render;
+mod span;
+
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{global, FamilySnapshot, MetricKind, Registry, SeriesSnapshot, SeriesValue};
+pub use span::{duration_nanos, Span, Stopwatch};

@@ -1,0 +1,249 @@
+//! The three metric primitives: counters, gauges, and log2-bucket histograms.
+//!
+//! All recording operations are single relaxed atomic read-modify-writes:
+//! wait-free, no locks, no allocation.  That makes them safe to call from any
+//! context — including while holding an unrelated `MutexGuard` (the epoch
+//! manager records gauges inside its protocol lock) — and cheap enough to
+//! leave enabled in release builds.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of histogram buckets.  Bucket `i < HISTOGRAM_BUCKETS - 1` counts
+/// values `v` with `v <= 2^i`; the last bucket is the `+Inf` overflow.  Forty
+/// buckets cover 1 ns – ~9 minutes for latencies recorded in nanoseconds and
+/// 1 – ~5·10¹¹ for row counts, both comfortably beyond what the engine
+/// produces.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing event count.
+///
+/// Recording is one relaxed `fetch_add`; reads are racy-but-atomic snapshots,
+/// which is all a monitoring surface needs.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A level that can move in both directions (queue depth, pinned readers,
+/// busy workers).
+#[derive(Debug)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (lock-free high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// A fixed-bucket log2 histogram.
+///
+/// [`Histogram::record`] classifies the value into its power-of-two bucket
+/// with a `leading_zeros` and performs three relaxed `fetch_add`s (bucket,
+/// count, sum) — lock-free and constant-time regardless of the value.
+/// Latency histograms record nanoseconds; the registry remembers a per-family
+/// scale (`1e-9` for latencies) so exposition renders bucket bounds and sums
+/// in seconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's atomics.
+///
+/// Buckets are *non-cumulative* per-bucket counts (exposition accumulates
+/// them into Prometheus' cumulative `le` series).  The snapshot is read
+/// bucket-by-bucket while writers keep recording, so totals are only
+/// guaranteed exact when writers are quiescent (which every test arranges by
+/// joining its threads first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values, in raw (unscaled) units.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) counts, `HISTOGRAM_BUCKETS` of them.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with all buckets at zero.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a value: the smallest `i` with `v <= 2^i`,
+    /// clamped to the overflow bucket.
+    pub fn bucket_index(v: u64) -> usize {
+        let index = match v {
+            0 | 1 => 0,
+            v => 64 - (v - 1).leading_zeros() as usize,
+        };
+        index.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i` in raw units, or `None` for
+    /// the `+Inf` overflow bucket.
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        (i < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << i)
+    }
+
+    /// Records one value.  Lock-free: three relaxed atomic adds.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values in raw units.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current bucket counts out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_keeps_max() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(3);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        g.set_max(7);
+        g.set_max(4);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), 20);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_indices() {
+        assert_eq!(Histogram::bucket_upper_bound(0), Some(1));
+        assert_eq!(Histogram::bucket_upper_bound(10), Some(1024));
+        assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let bound = Histogram::bucket_upper_bound(i).unwrap();
+            assert_eq!(Histogram::bucket_index(bound), i, "bound of bucket {i} maps back");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1010);
+        assert_eq!(snap.buckets[0], 2); // 0, 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 2); // 3, 4
+        assert_eq!(snap.buckets[10], 1); // 1000 <= 1024
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+}

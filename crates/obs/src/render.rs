@@ -1,0 +1,251 @@
+//! Exposition: Prometheus text format 0.0.4 and a JSON mirror.
+//!
+//! Both renderers work from [`Registry::snapshot`], so they never hold the
+//! registry lock while formatting and never perturb recorders.  JSON is
+//! hand-rolled (no `serde_json` in the offline build): the emitted values are
+//! metric names, label strings, and integers, so escaping is the only
+//! subtlety.
+
+use std::fmt::Write as _;
+
+use crate::metric::Histogram;
+use crate::registry::{FamilySnapshot, Registry, SeriesValue};
+
+impl Registry {
+    /// Renders every family in the Prometheus text exposition format 0.0.4:
+    /// `# HELP` / `# TYPE` headers, one sample per line, histograms as
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in self.snapshot() {
+            render_family_prometheus(&mut out, &family);
+        }
+        out
+    }
+
+    /// Renders every family as a JSON array (objects with `name`, `help`,
+    /// `type`, and per-series values; histograms carry their buckets).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, family) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_family_json(&mut out, family);
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn render_family_prometheus(out: &mut String, family: &FamilySnapshot) {
+    let name = &family.name;
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+    let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+    for series in &family.series {
+        let labels = prometheus_labels(&series.labels, &[]);
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{labels} {v}");
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{labels} {v}");
+            }
+            SeriesValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    let le = match Histogram::bucket_upper_bound(i) {
+                        Some(bound) => scaled_bound(bound, family.scale),
+                        None => "+Inf".to_owned(),
+                    };
+                    let with_le = prometheus_labels(&series.labels, &[("le", &le)]);
+                    let _ = writeln!(out, "{name}_bucket{with_le} {cumulative}");
+                }
+                let sum = scaled_sum(h.sum, family.scale);
+                let _ = writeln!(out, "{name}_sum{labels} {sum}");
+                let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+            }
+        }
+    }
+}
+
+fn render_family_json(out: &mut String, family: &FamilySnapshot) {
+    out.push('{');
+    let _ = write!(out, "\"name\":{}", json_string(&family.name));
+    let _ = write!(out, ",\"help\":{}", json_string(&family.help));
+    let _ = write!(out, ",\"type\":\"{}\"", family.kind.as_str());
+    out.push_str(",\"series\":[");
+    for (i, series) in family.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"labels\":{");
+        for (j, (k, v)) in series.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+        }
+        out.push('}');
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SeriesValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    ",\"count\":{},\"sum\":{}",
+                    h.count,
+                    scaled_sum(h.sum, family.scale)
+                );
+                out.push_str(",\"buckets\":[");
+                let mut cumulative = 0u64;
+                for (j, bucket) in h.buckets.iter().enumerate() {
+                    cumulative += bucket;
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let le = match Histogram::bucket_upper_bound(j) {
+                        Some(bound) => json_string(&scaled_bound(bound, family.scale)),
+                        None => json_string("+Inf"),
+                    };
+                    let _ = write!(out, "{{\"le\":{le},\"count\":{cumulative}}}");
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Formats a label set as `{k="v",...}` (empty string for no labels), with
+/// `extra` pairs appended — used for the `le` of histogram buckets.
+fn prometheus_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// A histogram bucket bound in exposition units.  Raw-unit histograms
+/// (scale 1) render integers; scaled ones (latencies) render decimal floats —
+/// Rust's `f64` Display is the shortest round-trip decimal and never
+/// scientific, which the text format requires.
+fn scaled_bound(bound: u64, scale: f64) -> String {
+    if scale == 1.0 {
+        bound.to_string()
+    } else {
+        format!("{}", bound as f64 * scale)
+    }
+}
+
+fn scaled_sum(sum: u64, scale: f64) -> String {
+    if scale == 1.0 {
+        sum.to_string()
+    } else {
+        format!("{}", sum as f64 * scale)
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HISTOGRAM_BUCKETS;
+
+    #[test]
+    fn prometheus_counter_and_gauge_lines() {
+        let reg = Registry::new();
+        reg.counter("requests_total", "Requests served.", &[("mode", "full")]).add(3);
+        reg.gauge("workers", "Busy workers.", &[]).set(2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP requests_total Requests served."));
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{mode=\"full\"} 3"));
+        assert!(text.contains("# TYPE workers gauge"));
+        assert!(text.contains("\nworkers 2\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("rows", "Rows.", &[]);
+        h.record(1);
+        h.record(3);
+        h.record(u64::MAX);
+        let text = reg.render_prometheus();
+        assert!(text.contains("rows_bucket{le=\"1\"} 1"));
+        assert!(text.contains("rows_bucket{le=\"4\"} 2"));
+        assert!(text.contains("rows_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("rows_count 3"));
+    }
+
+    #[test]
+    fn latency_bounds_render_in_seconds() {
+        let reg = Registry::new();
+        let h = reg.latency_histogram("lat_seconds", "Latency.", &[]);
+        h.record(1_000); // 1 µs
+        let text = reg.render_prometheus();
+        // 2^10 ns = 1024 ns = 0.000001024 s is the first bucket holding it.
+        assert!(text.contains("lat_seconds_bucket{le=\"0.000001024\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_sum 0.000001"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let reg = Registry::new();
+        reg.counter("c_total", "c \"quoted\"", &[("k", "v")]).inc();
+        reg.histogram("h", "h", &[]).record(2);
+        let json = reg.render_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"c_total\""));
+        assert!(json.contains("\"help\":\"c \\\"quoted\\\"\""));
+        assert!(json.contains("\"labels\":{\"k\":\"v\"}"));
+        assert!(json.contains("\"buckets\":["));
+        // One le entry per bucket, including +Inf.
+        assert_eq!(json.matches("\"le\":").count(), HISTOGRAM_BUCKETS);
+    }
+}

@@ -1,0 +1,126 @@
+//! Span timers and the sanctioned stopwatch.
+//!
+//! A [`Span`] is an RAII guard: [`Span::enter`] reads the clock, dropping the
+//! guard records the elapsed nanoseconds into a latency histogram.  Span
+//! histograms are labelled with slash-separated tree paths
+//! (`query/step12`, `query/step3`), so the per-query span tree aggregates
+//! into one histogram per node — cheap enough to stay on in release builds.
+//! When telemetry is disabled the caller passes `None` and the guard is a
+//! no-op: no clock read, no atomics, nothing recorded.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metric::Histogram;
+
+/// A started wall-clock timer.  The only sanctioned `Instant::now()` outside
+/// this crate's span machinery: engine and live code that needs a raw
+/// duration (for stats structs) starts a `Stopwatch` instead of touching
+/// `Instant` directly, which keeps the `raw-timing-outside-obs` lint's
+/// guarantee that all timing flows through one place.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Reads the clock and starts timing.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturated to `u64` (584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        duration_nanos(self.elapsed())
+    }
+}
+
+/// A `Duration` as nanoseconds, saturated to `u64` — the conversion every
+/// latency histogram records in.
+pub fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An RAII timer guard recording into a latency histogram on drop.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    target: Option<(Arc<Histogram>, Stopwatch)>,
+}
+
+impl Span {
+    /// Starts a span against `target`.  With `None` the span is a no-op that
+    /// never reads the clock — this is what an `ExecutionOptions::telemetry
+    /// = false` run produces.
+    pub fn enter(target: Option<&Arc<Histogram>>) -> Span {
+        Span { target: target.map(|hist| (Arc::clone(hist), Stopwatch::start())) }
+    }
+
+    /// A span that records nothing.
+    pub fn noop() -> Span {
+        Span { target: None }
+    }
+
+    /// Whether dropping this span will record.
+    pub fn is_recording(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Ends the span now, recording its elapsed time (sugar for `drop`).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((hist, watch)) = self.target.take() {
+            hist.record(watch.elapsed_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Registry::new();
+        let hist = reg.latency_histogram("span_seconds", "spans", &[("span", "query")]);
+        {
+            let span = Span::enter(Some(&hist));
+            assert!(span.is_recording());
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let reg = Registry::new();
+        let hist = reg.latency_histogram("span_seconds", "spans", &[("span", "step12")]);
+        Span::enter(Some(&hist)).finish();
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_is_a_noop() {
+        // The telemetry-off pin: a disabled span records nothing and carries
+        // no clock state at all.
+        let noop = Span::noop();
+        assert!(!noop.is_recording());
+        drop(noop);
+        let entered = Span::enter(None);
+        assert!(!entered.is_recording());
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let watch = Stopwatch::start();
+        let first = watch.elapsed_nanos();
+        assert!(watch.elapsed_nanos() >= first);
+    }
+}
